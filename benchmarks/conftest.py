@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures at the
+``bench`` scale (set ``REPRO_SCALE=paper`` for the full-size runs) and
+writes its report both to stdout and to ``benchmarks/reports/``.
+"""
+
+from pathlib import Path
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/reports/."""
+    REPORTS_DIR.mkdir(exist_ok=True)
+    (REPORTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

@@ -1,0 +1,41 @@
+"""Command-line entry point: ``python -m repro <experiment> [scale]``.
+
+Runs a single paper experiment (or ``all``) and prints its report.
+
+    python -m repro list
+    python -m repro fig4_table1 bench
+    python -m repro all test
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.run_all import EXPERIMENTS, run_all
+
+_BY_NAME = dict(EXPERIMENTS)
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help", "list"):
+        print("usage: python -m repro <experiment|all|list> [test|bench|paper]")
+        print("experiments:")
+        for name, _ in EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+    target = args[0]
+    scale = args[1] if len(args) > 1 else None
+    if target == "all":
+        run_all(scale)
+        return 0
+    if target not in _BY_NAME:
+        print(f"unknown experiment {target!r}; try 'python -m repro list'",
+              file=sys.stderr)
+        return 2
+    print(_BY_NAME[target].run(scale).report())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

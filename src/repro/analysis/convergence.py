@@ -1,0 +1,76 @@
+"""Regret tracking for the convergence guarantee (paper Sec. IV-C).
+
+Theorem 1 bounds the time-average regret
+(1/T) * sum_t |f(x_t) - f(x*)| by O(sum eta_t)/T + O(1/(T eta_T)) +
+O(sum v_t)/T; with eta_t, v_t ~ 1/sqrt(t) the bound decays like
+1/sqrt(T).  The tracker records per-iteration loss values against a
+known optimum so the property tests and the convergence benchmark can
+verify the *decay* of the time-average regret empirically.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+class RegretTracker:
+    """Accumulates |f(x_t) - f(x*)| over iterations."""
+
+    def __init__(self, optimal_loss: float) -> None:
+        self.optimal_loss = float(optimal_loss)
+        self._losses: List[float] = []
+
+    def observe(self, loss: float) -> None:
+        if not np.isfinite(loss):
+            raise ValueError(f"loss must be finite, got {loss}")
+        self._losses.append(float(loss))
+
+    def __len__(self) -> int:
+        return len(self._losses)
+
+    @property
+    def regrets(self) -> np.ndarray:
+        """|f(x_t) - f(x*)| per iteration."""
+        return np.abs(np.asarray(self._losses) - self.optimal_loss)
+
+    def cumulative_regret(self) -> np.ndarray:
+        """R[x] up to each iteration."""
+        return np.cumsum(self.regrets)
+
+    def time_average_regret(self) -> np.ndarray:
+        """(1/T) R[x] for every prefix length T (the quantity of Eq. 5)."""
+        if not self._losses:
+            raise ValueError("no losses observed")
+        t = np.arange(1, len(self._losses) + 1, dtype=float)
+        return self.cumulative_regret() / t
+
+    def is_decaying(self, first_fraction: float = 0.25) -> bool:
+        """True if the time-average regret of the last quarter is below
+        that of the first ``first_fraction`` of iterations -- the
+        empirical signature of Eq. (5) holding."""
+        avg = self.time_average_regret()
+        if avg.size < 8:
+            raise ValueError("need at least 8 observations")
+        head = int(max(1, avg.size * first_fraction))
+        return float(avg[-1]) < float(np.mean(avg[:head]))
+
+
+def theoretical_bound(
+    etas: np.ndarray, thresholds: np.ndarray, scale: float = 1.0
+) -> np.ndarray:
+    """Evaluate the shape of Theorem 1's bound for given schedules.
+
+    Returns the per-T value of
+    scale * (sum_{t<=T} eta_t + 1/eta_T + sum_{t<=T} v_t) / T, which
+    for the paper's 1/sqrt(t) schedules decays like 1/sqrt(T).
+    """
+    etas = np.asarray(etas, dtype=float)
+    thresholds = np.asarray(thresholds, dtype=float)
+    if etas.shape != thresholds.shape or etas.ndim != 1 or etas.size == 0:
+        raise ValueError("etas and thresholds must be equal-length 1-D arrays")
+    if np.any(etas <= 0):
+        raise ValueError("learning rates must be positive")
+    t = np.arange(1, etas.size + 1, dtype=float)
+    return scale * (np.cumsum(etas) + 1.0 / etas + np.cumsum(thresholds)) / t

@@ -1,0 +1,79 @@
+"""Rounds-to-accuracy and the paper's *saving* metric (Sec. V-A).
+
+Saving^a_A = Phi^a_0 / Phi^a_A: the accumulated communication rounds
+vanilla FL needs to reach accuracy ``a``, divided by what algorithm A
+needs.  Accuracy curves are noisy (the paper notes CMFL's are visibly
+jagged), so the reaching condition uses a smoothed curve.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.fl.history import RunHistory
+from repro.utils.smoothing import moving_average
+
+
+def rounds_to_accuracy(
+    history: RunHistory, target: float, smooth_window: int = 3
+) -> Optional[int]:
+    """Accumulated communication rounds when the test metric first
+    reaches ``target`` (on a trailing moving average), or ``None`` if
+    the run never got there."""
+    if not 0.0 < target <= 1.0:
+        raise ValueError(f"target accuracy must be in (0, 1], got {target}")
+    _, comm_rounds, metric = history.evaluated_points()
+    if metric.size == 0:
+        return None
+    smoothed = moving_average(metric, smooth_window)
+    hits = np.flatnonzero(smoothed >= target)
+    if hits.size == 0:
+        return None
+    return int(comm_rounds[hits[0]])
+
+
+def bytes_to_accuracy(
+    history: RunHistory, target: float, smooth_window: int = 3
+) -> Optional[int]:
+    """Total uploaded bytes when the test metric first reaches ``target``."""
+    if not 0.0 < target <= 1.0:
+        raise ValueError(f"target accuracy must be in (0, 1], got {target}")
+    _, _, metric = history.evaluated_points()
+    if metric.size == 0:
+        return None
+    smoothed = moving_average(metric, smooth_window)
+    hits = np.flatnonzero(smoothed >= target)
+    if hits.size == 0:
+        return None
+    evaluated = [r for r in history.records if r.test_metric is not None]
+    return int(evaluated[hits[0]].total_bytes)
+
+
+def saving(
+    baseline: RunHistory,
+    compared: RunHistory,
+    target: float,
+    smooth_window: int = 3,
+) -> Optional[float]:
+    """Saving of ``compared`` over ``baseline`` at accuracy ``target``.
+
+    Returns ``None`` when either run never reaches the target.  Values
+    above 1 mean ``compared`` used fewer communication rounds.
+    """
+    phi_base = rounds_to_accuracy(baseline, target, smooth_window)
+    phi_comp = rounds_to_accuracy(compared, target, smooth_window)
+    if phi_base is None or phi_comp is None:
+        return None
+    if phi_comp == 0:
+        raise ValueError("compared run reached the target with zero uploads")
+    return phi_base / phi_comp
+
+
+def best_reached_accuracy(history: RunHistory, smooth_window: int = 3) -> float:
+    """Highest smoothed test metric the run attained (0.0 if never evaluated)."""
+    _, _, metric = history.evaluated_points()
+    if metric.size == 0:
+        return 0.0
+    return float(np.max(moving_average(metric, smooth_window)))

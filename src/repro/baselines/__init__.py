@@ -1,0 +1,7 @@
+"""Baseline upload policies the paper compares against."""
+
+from repro.baselines.vanilla import VanillaPolicy
+from repro.baselines.gaia import GaiaPolicy, gaia_significance
+from repro.baselines.gaia_partial import GaiaPartialPolicy
+
+__all__ = ["VanillaPolicy", "GaiaPolicy", "GaiaPartialPolicy", "gaia_significance"]

@@ -1,0 +1,20 @@
+"""Vanilla Federated Learning: every client uploads every round."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policy import PolicyContext, UploadDecision, UploadPolicy
+
+
+class VanillaPolicy(UploadPolicy):
+    """The no-filtering baseline (McMahan et al.'s synchronous FL)."""
+
+    name = "vanilla"
+
+    def decide(self, update: np.ndarray, ctx: PolicyContext) -> UploadDecision:
+        del update, ctx
+        return UploadDecision(upload=True, score=1.0, threshold=0.0)
+
+    def __repr__(self) -> str:
+        return "VanillaPolicy()"

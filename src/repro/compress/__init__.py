@@ -1,0 +1,30 @@
+"""Update compression: the paper's *orthogonal* communication axis.
+
+CMFL reduces *how many* updates are uploaded; the related work it
+contrasts against (Konecny et al.'s structured and sketched updates)
+reduces *how many bits each update costs*.  This package implements
+that axis -- uniform quantization, top-k and random sparsification --
+behind a common codec interface with honest wire-size accounting, plus
+a wrapper that composes any codec with any upload policy, so the two
+approaches can be combined exactly as the paper suggests.
+"""
+
+from repro.compress.codecs import (
+    Codec,
+    CompressedUpdate,
+    IdentityCodec,
+    QuantizationCodec,
+    RandomSparsifier,
+    TopKSparsifier,
+)
+from repro.compress.pipeline import CompressionPipeline
+
+__all__ = [
+    "Codec",
+    "CompressedUpdate",
+    "IdentityCodec",
+    "QuantizationCodec",
+    "TopKSparsifier",
+    "RandomSparsifier",
+    "CompressionPipeline",
+]

@@ -1,0 +1,200 @@
+"""Lossy update codecs with wire-size accounting.
+
+Every codec maps a float update vector to a :class:`CompressedUpdate`
+(carrying its wire size in bytes) and back.  Decoding is lossy for all
+but the identity codec; round-trip error is what the paper's related
+work trades against bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+#: Bytes of framing per compressed message (ids, shapes, scales).
+CODEC_HEADER_BYTES = 24
+#: Bytes per index when a sparse codec ships coordinates.
+INDEX_BYTES = 4
+
+
+@dataclass(frozen=True)
+class CompressedUpdate:
+    """An encoded update plus everything needed to decode it."""
+
+    payload: np.ndarray
+    indices: Optional[np.ndarray]
+    n_params: int
+    scale: float
+    offset: float
+    wire_bytes: int
+
+
+class Codec:
+    """Interface: ``encode`` to a wire object, ``decode`` back to floats."""
+
+    name = "codec"
+
+    def encode(self, update: np.ndarray) -> CompressedUpdate:
+        raise NotImplementedError
+
+    def decode(self, compressed: CompressedUpdate) -> np.ndarray:
+        raise NotImplementedError
+
+
+def _as_vector(update: np.ndarray) -> np.ndarray:
+    vec = np.asarray(update, dtype=float).reshape(-1)
+    if vec.size == 0:
+        raise ValueError("cannot encode an empty update")
+    return vec
+
+
+class IdentityCodec(Codec):
+    """No compression: 4 bytes per parameter (the FL wire default)."""
+
+    name = "identity"
+
+    def encode(self, update: np.ndarray) -> CompressedUpdate:
+        vec = _as_vector(update)
+        return CompressedUpdate(
+            payload=vec.copy(),
+            indices=None,
+            n_params=vec.size,
+            scale=1.0,
+            offset=0.0,
+            wire_bytes=CODEC_HEADER_BYTES + 4 * vec.size,
+        )
+
+    def decode(self, compressed: CompressedUpdate) -> np.ndarray:
+        return compressed.payload.copy()
+
+
+class QuantizationCodec(Codec):
+    """Uniform b-bit quantization over the update's value range.
+
+    The probabilistic-quantization scheme of the paper's "sketched
+    updates" reference.  ``stochastic=True`` (default) rounds each value
+    up or down with probability proportional to its distance, making the
+    decoded vector *unbiased*.  This matters when composing with CMFL:
+    deterministic rounding snaps the many near-zero coordinates of every
+    update to the same lattice level, giving the aggregated feedback a
+    spurious uniform sign there and wrecking the sign-alignment
+    relevance (see ``examples/compressed_cmfl.py``).
+    """
+
+    name = "quantization"
+
+    def __init__(
+        self, bits: int = 8, stochastic: bool = True, rng: RngLike = None
+    ) -> None:
+        if not 1 <= bits <= 16:
+            raise ValueError(f"bits must be in [1, 16], got {bits}")
+        self.bits = bits
+        self.stochastic = stochastic
+        self._rng = ensure_rng(rng)
+
+    def encode(self, update: np.ndarray) -> CompressedUpdate:
+        vec = _as_vector(update)
+        lo = float(vec.min())
+        hi = float(vec.max())
+        span = hi - lo
+        levels = (1 << self.bits) - 1
+        if span == 0.0:
+            codes = np.zeros(vec.size, dtype=np.uint16)
+            scale = 0.0
+        else:
+            scale = span / levels
+            exact = (vec - lo) / scale
+            if self.stochastic:
+                floor = np.floor(exact)
+                codes = (
+                    floor + (self._rng.random(vec.size) < (exact - floor))
+                ).astype(np.uint16)
+            else:
+                codes = np.rint(exact).astype(np.uint16)
+        wire = CODEC_HEADER_BYTES + int(np.ceil(vec.size * self.bits / 8))
+        return CompressedUpdate(
+            payload=codes,
+            indices=None,
+            n_params=vec.size,
+            scale=scale,
+            offset=lo,
+            wire_bytes=wire,
+        )
+
+    def decode(self, compressed: CompressedUpdate) -> np.ndarray:
+        return compressed.offset + compressed.payload.astype(float) * compressed.scale
+
+
+class TopKSparsifier(Codec):
+    """Keep only the k largest-magnitude coordinates (structured updates)."""
+
+    name = "topk"
+
+    def __init__(self, fraction: float = 0.1) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+
+    def _k(self, n: int) -> int:
+        return max(1, int(round(self.fraction * n)))
+
+    def encode(self, update: np.ndarray) -> CompressedUpdate:
+        vec = _as_vector(update)
+        k = self._k(vec.size)
+        idx = np.argpartition(np.abs(vec), -k)[-k:]
+        idx = np.sort(idx)
+        wire = CODEC_HEADER_BYTES + k * (4 + INDEX_BYTES)
+        return CompressedUpdate(
+            payload=vec[idx].copy(),
+            indices=idx,
+            n_params=vec.size,
+            scale=1.0,
+            offset=0.0,
+            wire_bytes=wire,
+        )
+
+    def decode(self, compressed: CompressedUpdate) -> np.ndarray:
+        out = np.zeros(compressed.n_params)
+        out[compressed.indices] = compressed.payload
+        return out
+
+
+class RandomSparsifier(Codec):
+    """Keep a random coordinate subset, rescaled to stay unbiased.
+
+    The surviving coordinates are divided by the keep-fraction so the
+    expected decoded vector equals the input (the property aggregation
+    relies on).
+    """
+
+    name = "random_sparse"
+
+    def __init__(self, fraction: float = 0.1, rng: RngLike = None) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+        self._rng = ensure_rng(rng)
+
+    def encode(self, update: np.ndarray) -> CompressedUpdate:
+        vec = _as_vector(update)
+        k = max(1, int(round(self.fraction * vec.size)))
+        idx = np.sort(self._rng.choice(vec.size, size=k, replace=False))
+        keep = k / vec.size
+        wire = CODEC_HEADER_BYTES + k * (4 + INDEX_BYTES)
+        return CompressedUpdate(
+            payload=vec[idx] / keep,
+            indices=idx,
+            n_params=vec.size,
+            scale=1.0,
+            offset=0.0,
+            wire_bytes=wire,
+        )
+
+    def decode(self, compressed: CompressedUpdate) -> np.ndarray:
+        out = np.zeros(compressed.n_params)
+        out[compressed.indices] = compressed.payload
+        return out

@@ -1,0 +1,81 @@
+"""Composing update compression with upload filtering.
+
+The paper frames the two communication levers as orthogonal: CMFL
+decides *whether* to upload, codecs decide *how many bits* the upload
+costs.  :class:`CompressionPipeline` composes them: the policy judges
+the raw update; if it passes, the codec encodes it and the server
+aggregates the *decoded* (lossy) version -- exactly what a deployed
+combination would do.  The pipeline keeps its own byte ledger so the
+combined footprint can be compared against either lever alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.compress.codecs import Codec
+from repro.core.policy import PolicyContext, UploadDecision, UploadPolicy
+from repro.nn.serialization import STATUS_MESSAGE_BYTES
+
+
+@dataclass
+class CompressionStats:
+    """Byte totals and fidelity of one pipeline's traffic."""
+
+    uploaded_bytes: int = 0
+    status_bytes: int = 0
+    raw_equivalent_bytes: int = 0
+    relative_errors: List[float] = field(default_factory=list)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw float32 bytes over actually-shipped bytes (>1 is a win)."""
+        shipped = self.uploaded_bytes + self.status_bytes
+        if shipped == 0:
+            return float("inf")
+        return self.raw_equivalent_bytes / shipped
+
+    @property
+    def mean_relative_error(self) -> float:
+        if not self.relative_errors:
+            return 0.0
+        return float(np.mean(self.relative_errors))
+
+
+class CompressionPipeline(UploadPolicy):
+    """An upload policy that also compresses whatever it uploads.
+
+    Wraps an inner policy (vanilla / Gaia / CMFL) and a codec.  The
+    decision comes from the inner policy on the *raw* update; on upload
+    the update is encoded and immediately decoded, and the lossy result
+    replaces the raw vector in place (so the server aggregates what it
+    would actually receive).  Wire sizes are tallied in ``stats``.
+    """
+
+    def __init__(self, inner: UploadPolicy, codec: Codec) -> None:
+        self.inner = inner
+        self.codec = codec
+        self.stats = CompressionStats()
+        self.name = f"{inner.name}+{codec.name}"
+
+    def decide(self, update: np.ndarray, ctx: PolicyContext) -> UploadDecision:
+        decision = self.inner.decide(update, ctx)
+        raw_bytes = 4 * update.size
+        if not decision.upload:
+            self.stats.status_bytes += STATUS_MESSAGE_BYTES
+            return decision
+        compressed = self.codec.encode(update)
+        decoded = self.codec.decode(compressed)
+        norm = float(np.linalg.norm(update))
+        if norm > 0:
+            self.stats.relative_errors.append(
+                float(np.linalg.norm(decoded - update)) / norm
+            )
+        self.stats.uploaded_bytes += compressed.wire_bytes
+        self.stats.raw_equivalent_bytes += raw_bytes
+        # The server must aggregate what actually crossed the wire.
+        update[...] = decoded
+        return decision

@@ -1,0 +1,80 @@
+"""Client-side upload policies.
+
+A policy decides, for each freshly computed local update, whether it is
+worth uploading.  CMFL's policy implements Algorithm 1's CheckRelevance
+(semantically: upload iff e(u, u_bar) >= v_t -- the paper's pseudo-code
+has the comparison inverted relative to its own prose).  Vanilla FL and
+Gaia live in :mod:`repro.baselines` behind the same interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.relevance import relevance
+from repro.core.thresholds import ThresholdSchedule
+
+
+@dataclass(frozen=True)
+class PolicyContext:
+    """Everything a policy may consult when judging an update.
+
+    ``iteration`` is the 1-based federated round; ``global_params`` the
+    model the update was computed against; ``global_update_estimate``
+    the feedback u_bar_{t-1} the server broadcast with it.
+    """
+
+    iteration: int
+    global_params: np.ndarray
+    global_update_estimate: np.ndarray
+    client_id: int = -1
+
+
+@dataclass(frozen=True)
+class UploadDecision:
+    """Outcome of a policy check.
+
+    ``score`` is the policy's raw measure (relevance for CMFL,
+    significance for Gaia, 1.0 for vanilla) and ``threshold`` the value
+    it was compared against; both are recorded by the trainer for the
+    Fig. 2 measurement experiments.
+    """
+
+    upload: bool
+    score: float
+    threshold: float
+
+
+class UploadPolicy:
+    """Interface: judge one local update in one round."""
+
+    name = "policy"
+
+    def decide(self, update: np.ndarray, ctx: PolicyContext) -> UploadDecision:
+        raise NotImplementedError
+
+
+class CMFLPolicy(UploadPolicy):
+    """CMFL relevance filtering (the paper's Algorithm 1).
+
+    An update is uploaded iff its sign-alignment relevance against the
+    broadcast feedback reaches the scheduled threshold v_t.  Before any
+    feedback exists (u_bar = 0) relevance is defined as 1.0, so the
+    first round uploads everything.
+    """
+
+    name = "cmfl"
+
+    def __init__(self, threshold: ThresholdSchedule) -> None:
+        self.threshold = threshold
+
+    def decide(self, update: np.ndarray, ctx: PolicyContext) -> UploadDecision:
+        score = relevance(update, ctx.global_update_estimate)
+        v_t = min(1.0, self.threshold(ctx.iteration))
+        return UploadDecision(upload=score >= v_t, score=score, threshold=v_t)
+
+    def __repr__(self) -> str:
+        return f"CMFLPolicy(threshold={self.threshold!r})"

@@ -1,0 +1,79 @@
+"""The CMFL relevance measure (paper Eq. 9).
+
+Given a local update ``u`` and the (estimated) global update ``u_bar``,
+the relevance is the fraction of parameters whose signs agree:
+
+    e(u, u_bar) = (1/N) * sum_j I(sgn(u_j) == sgn(u_bar_j))
+
+The sign of a parameter determines the *direction* the model moves
+along that dimension, so sign agreement measures alignment with the
+collaborative optimisation trend -- irrespective of learning rate or
+local dataset size (the two quantities that defeat Gaia's
+magnitude-based significance).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def sign_agreement_counts(
+    u: np.ndarray, u_bar: np.ndarray
+) -> Tuple[int, int]:
+    """(number of same-sign parameters, total parameters).
+
+    ``np.sign`` maps to {-1, 0, +1}; two exact zeros count as agreeing,
+    matching the indicator in Eq. (9).
+    """
+    u = np.asarray(u, dtype=float).reshape(-1)
+    u_bar = np.asarray(u_bar, dtype=float).reshape(-1)
+    if u.shape != u_bar.shape:
+        raise ValueError(
+            f"update shapes differ: {u.shape} vs {u_bar.shape}"
+        )
+    if u.size == 0:
+        raise ValueError("updates cannot be empty")
+    agree = int(np.count_nonzero(np.sign(u) == np.sign(u_bar)))
+    return agree, int(u.size)
+
+
+def relevance(u: np.ndarray, u_bar: np.ndarray) -> float:
+    """e(u, u_bar) in [0, 1]; 1 means perfectly aligned with the federation.
+
+    When the feedback ``u_bar`` is identically zero (the very first
+    iteration, before any global update exists), there is no tendency to
+    compare against and every update is defined to be fully relevant
+    (returns 1.0), so round 1 behaves like vanilla FL.
+    """
+    u_bar_arr = np.asarray(u_bar, dtype=float)
+    if not np.any(u_bar_arr):
+        np.asarray(u, dtype=float)  # still validate the partner argument
+        return 1.0
+    agree, total = sign_agreement_counts(u, u_bar_arr)
+    return agree / total
+
+
+def relevance_per_segment(
+    u: np.ndarray, u_bar: np.ndarray, boundaries: "list[int]"
+) -> np.ndarray:
+    """Relevance computed independently per contiguous segment.
+
+    ``boundaries`` are cumulative end offsets (e.g. per-layer parameter
+    counts accumulated); used by the per-layer ablation benchmark.
+    """
+    u = np.asarray(u, dtype=float).reshape(-1)
+    u_bar = np.asarray(u_bar, dtype=float).reshape(-1)
+    if u.shape != u_bar.shape:
+        raise ValueError("update shapes differ")
+    if not boundaries or boundaries[-1] != u.size:
+        raise ValueError("boundaries must end at the vector length")
+    out = []
+    start = 0
+    for end in boundaries:
+        if end <= start:
+            raise ValueError("boundaries must be strictly increasing")
+        out.append(relevance(u[start:end], u_bar[start:end]))
+        start = end
+    return np.asarray(out)

@@ -1,0 +1,77 @@
+"""Relevance/significance threshold schedules.
+
+Theorem 1 requires the relevance threshold v_t to decay for the regret
+bound to vanish; the paper's experiments use v_t = v0 / sqrt(t)
+alongside the matching learning-rate schedule.  A constant schedule is
+provided for the ablation that shows why decay matters, and a linear
+decay as a further design point.
+"""
+
+from __future__ import annotations
+
+
+class ThresholdSchedule:
+    """Maps a 1-based iteration index to a threshold value."""
+
+    def __call__(self, t: int) -> float:
+        if t < 1:
+            raise ValueError(f"iteration index is 1-based, got {t}")
+        return self.value(t)
+
+    def value(self, t: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantThreshold(ThresholdSchedule):
+    """v_t = v0 for all t."""
+
+    def __init__(self, v0: float) -> None:
+        if v0 < 0:
+            raise ValueError(f"threshold must be >= 0, got {v0}")
+        self.v0 = v0
+
+    def value(self, t: int) -> float:
+        return self.v0
+
+    def __repr__(self) -> str:
+        return f"ConstantThreshold({self.v0})"
+
+
+class InverseSqrtThreshold(ThresholdSchedule):
+    """v_t = v0 / sqrt(t) -- the paper's choice (Sec. V-A setup)."""
+
+    def __init__(self, v0: float) -> None:
+        if v0 < 0:
+            raise ValueError(f"threshold must be >= 0, got {v0}")
+        self.v0 = v0
+
+    def value(self, t: int) -> float:
+        return self.v0 / (t**0.5)
+
+    def __repr__(self) -> str:
+        return f"InverseSqrtThreshold({self.v0})"
+
+
+class LinearDecayThreshold(ThresholdSchedule):
+    """v_t decays linearly from v0 to v_final over ``horizon`` iterations."""
+
+    def __init__(self, v0: float, v_final: float, horizon: int) -> None:
+        if v0 < 0 or v_final < 0 or v_final > v0:
+            raise ValueError("require 0 <= v_final <= v0")
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        self.v0 = v0
+        self.v_final = v_final
+        self.horizon = horizon
+
+    def value(self, t: int) -> float:
+        if t >= self.horizon:
+            return self.v_final
+        frac = (t - 1) / max(self.horizon - 1, 1)
+        return self.v0 + (self.v_final - self.v0) * frac
+
+    def __repr__(self) -> str:
+        return (
+            f"LinearDecayThreshold({self.v0}, {self.v_final}, "
+            f"horizon={self.horizon})"
+        )

@@ -1,0 +1,67 @@
+"""A minimal in-memory dataset with deterministic batching."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class Dataset:
+    """Paired arrays ``x`` (features) and ``y`` (targets) of equal length."""
+
+    def __init__(self, x: np.ndarray, y: np.ndarray) -> None:
+        x = np.asarray(x)
+        y = np.asarray(y)
+        if len(x) != len(y):
+            raise ValueError(f"x has {len(x)} rows but y has {len(y)}")
+        if len(x) == 0:
+            raise ValueError("dataset cannot be empty")
+        self.x = x
+        self.y = y
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def subset(self, indices: Sequence[int]) -> "Dataset":
+        """New dataset restricted to ``indices`` (copies the slices)."""
+        idx = np.asarray(indices, dtype=int)
+        if idx.size == 0:
+            raise ValueError("cannot build an empty subset")
+        return Dataset(self.x[idx].copy(), self.y[idx].copy())
+
+    def batches(
+        self, batch_size: int, rng: RngLike = None, shuffle: bool = True
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(x, y)`` minibatches covering the dataset once.
+
+        The final batch may be smaller than ``batch_size``.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        order = np.arange(len(self))
+        if shuffle:
+            ensure_rng(rng).shuffle(order)
+        for start in range(0, len(self), batch_size):
+            idx = order[start : start + batch_size]
+            yield self.x[idx], self.y[idx]
+
+    def __repr__(self) -> str:
+        return f"Dataset(n={len(self)}, x_shape={self.x.shape[1:]})"
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.2, rng: RngLike = None
+) -> Tuple[Dataset, Dataset]:
+    """Random split into (train, test); both parts are non-empty."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    n = len(dataset)
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise ValueError("dataset too small to split")
+    order = np.arange(n)
+    ensure_rng(rng).shuffle(order)
+    return dataset.subset(order[n_test:]), dataset.subset(order[:n_test])

@@ -1,0 +1,192 @@
+"""Synthetic role-based dialogue corpus (Shakespeare stand-in).
+
+The paper builds its next-word-prediction dataset from Shakespeare's
+plays, one speaking role per client, which makes each client's word
+distribution heavily role-specific.  This module reproduces that
+structure synthetically:
+
+- a shared vocabulary of real English *function* words plus
+  syllable-generated pseudo-English *content* words grouped into topics;
+- each role draws a sparse Dirichlet mixture over topics, so roles talk
+  about different things (the non-IID axis);
+- sentences interleave Zipf-distributed function words with
+  topic-conditioned content words, and each content word has a
+  preferred successor, giving the LSTM a learnable bigram structure.
+
+Samples are 10-token windows predicting the following token, exactly
+the paper's setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.vocab import Vocabulary
+from repro.utils.rng import RngLike, ensure_rng
+
+FUNCTION_WORDS = [
+    "the", "and", "to", "of", "i", "you", "my", "a", "that", "in",
+    "is", "not", "me", "it", "for", "with", "be", "your", "this", "his",
+    "but", "he", "have", "as", "thou", "him", "so", "will", "what", "thy",
+    "all", "her", "no", "by", "do", "shall", "if", "are", "we", "thee",
+    "on", "lord", "our", "king", "good", "now", "sir", "from", "come", "at",
+]
+
+EOS = "<eos>"
+
+_ONSETS = ["b", "br", "c", "cl", "d", "dr", "f", "fl", "g", "gr", "h", "j",
+           "k", "l", "m", "n", "p", "pr", "qu", "r", "s", "st", "t", "tr",
+           "v", "w", "wh", "y"]
+_NUCLEI = ["a", "e", "i", "o", "u", "ai", "ea", "ee", "oa", "ou"]
+_CODAS = ["", "d", "ght", "l", "ll", "m", "n", "nd", "r", "rd", "s", "st",
+          "t", "th", "ve"]
+
+
+def _pseudo_word(gen: np.random.Generator, n_syllables: int) -> str:
+    parts = []
+    for _ in range(n_syllables):
+        parts.append(gen.choice(_ONSETS))
+        parts.append(gen.choice(_NUCLEI))
+    parts.append(gen.choice(_CODAS))
+    return "".join(parts)
+
+
+def _zipf_weights(n: int, exponent: float = 1.1) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=float)
+    w = ranks**-exponent
+    return w / w.sum()
+
+
+@dataclass
+class DialogueCorpus:
+    """A generated corpus ready for federated next-word prediction.
+
+    ``sequences`` holds ``(n, seq_len)`` token-id windows, ``next_words``
+    the token to predict, and ``roles`` the speaking-role (= client) id
+    of each window.
+    """
+
+    vocab: Vocabulary
+    sequences: np.ndarray
+    next_words: np.ndarray
+    roles: np.ndarray
+    seq_len: int
+
+    @property
+    def n_roles(self) -> int:
+        return int(self.roles.max()) + 1
+
+    def as_dataset(self) -> Dataset:
+        return Dataset(self.sequences, self.next_words)
+
+    def role_dataset(self, role: int) -> Dataset:
+        idx = np.flatnonzero(self.roles == role)
+        if idx.size == 0:
+            raise ValueError(f"role {role} has no samples")
+        return Dataset(self.sequences[idx], self.next_words[idx])
+
+
+def make_dialogue_corpus(
+    n_roles: int = 100,
+    words_per_role: int = 120,
+    n_topics: int = 12,
+    words_per_topic: int = 40,
+    seq_len: int = 10,
+    topic_alpha: float = 0.25,
+    bigram_strength: float = 0.7,
+    function_word_prob: float = 0.35,
+    rng: RngLike = None,
+) -> DialogueCorpus:
+    """Generate a role-partitioned dialogue corpus.
+
+    ``words_per_role`` is the approximate length of each role's token
+    stream; it must exceed ``seq_len`` so every role yields at least one
+    training window (the paper keeps roles with >= 20 words).
+    ``bigram_strength`` is the probability of following a content word's
+    preferred successor -- the learnable signal a next-word predictor
+    exploits; ``function_word_prob`` the share of shared function words.
+    """
+    if not 0.0 <= bigram_strength <= 1.0:
+        raise ValueError("bigram_strength must be in [0, 1]")
+    if not 0.0 <= function_word_prob < 1.0:
+        raise ValueError("function_word_prob must be in [0, 1)")
+    if n_roles < 1 or n_topics < 1 or words_per_topic < 2:
+        raise ValueError("invalid corpus configuration")
+    if words_per_role <= seq_len:
+        raise ValueError(
+            f"words_per_role ({words_per_role}) must exceed seq_len ({seq_len})"
+        )
+    gen = ensure_rng(rng)
+
+    # --- vocabulary -----------------------------------------------------
+    content_words: List[List[str]] = []
+    seen = set(FUNCTION_WORDS)
+    for _ in range(n_topics):
+        topic_words: List[str] = []
+        while len(topic_words) < words_per_topic:
+            w = _pseudo_word(gen, int(gen.integers(1, 3)))
+            if w not in seen:
+                seen.add(w)
+                topic_words.append(w)
+        content_words.append(topic_words)
+    all_tokens = [EOS] + FUNCTION_WORDS + [w for t in content_words for w in t]
+    vocab = Vocabulary(all_tokens)
+
+    func_ids = vocab.encode(FUNCTION_WORDS)
+    func_weights = _zipf_weights(len(func_ids))
+    topic_ids = [vocab.encode(t) for t in content_words]
+    topic_weights = [_zipf_weights(len(t)) for t in topic_ids]
+    eos_id = vocab.id_of(EOS)
+
+    # Each content word prefers a fixed successor within its topic: the
+    # learnable bigram signal.
+    successor = {}
+    for ids in topic_ids:
+        shifted = np.roll(ids, -1)
+        for a, b in zip(ids, shifted):
+            successor[int(a)] = int(b)
+
+    # --- per-role generation --------------------------------------------
+    sequences: List[np.ndarray] = []
+    next_words: List[int] = []
+    roles: List[int] = []
+    for role in range(n_roles):
+        mixture = gen.dirichlet(np.full(n_topics, topic_alpha))
+        stream: List[int] = []
+        pending_successor: int | None = None
+        while len(stream) < words_per_role:
+            sentence_len = int(gen.integers(6, 15))
+            for _ in range(sentence_len):
+                if pending_successor is not None and gen.random() < bigram_strength:
+                    stream.append(pending_successor)
+                    pending_successor = successor.get(pending_successor)
+                    continue
+                if gen.random() < function_word_prob:
+                    stream.append(int(gen.choice(func_ids, p=func_weights)))
+                    pending_successor = None
+                else:
+                    topic = int(gen.choice(n_topics, p=mixture))
+                    word = int(
+                        gen.choice(topic_ids[topic], p=topic_weights[topic])
+                    )
+                    stream.append(word)
+                    pending_successor = successor.get(word)
+            stream.append(eos_id)
+            pending_successor = None
+        tokens = np.asarray(stream, dtype=np.int64)
+        for start in range(0, tokens.size - seq_len):
+            sequences.append(tokens[start : start + seq_len])
+            next_words.append(int(tokens[start + seq_len]))
+            roles.append(role)
+
+    return DialogueCorpus(
+        vocab=vocab,
+        sequences=np.stack(sequences),
+        next_words=np.asarray(next_words, dtype=np.int64),
+        roles=np.asarray(roles, dtype=np.int64),
+        seq_len=seq_len,
+    )

@@ -1,0 +1,52 @@
+"""Token vocabulary with stable integer ids."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+class Vocabulary:
+    """Bidirectional token <-> id map.
+
+    Id 0 is reserved for the out-of-vocabulary token ``<unk>``.
+    """
+
+    UNK = "<unk>"
+
+    def __init__(self, tokens: Iterable[str]) -> None:
+        self._id_to_token: List[str] = [self.UNK]
+        self._token_to_id: Dict[str, int] = {self.UNK: 0}
+        for tok in tokens:
+            if tok not in self._token_to_id:
+                self._token_to_id[tok] = len(self._id_to_token)
+                self._id_to_token.append(tok)
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def encode(self, tokens: Sequence[str]) -> np.ndarray:
+        """Token strings -> id array; unknown tokens map to ``<unk>``."""
+        return np.asarray(
+            [self._token_to_id.get(t, 0) for t in tokens], dtype=np.int64
+        )
+
+    def decode(self, ids: Sequence[int]) -> List[str]:
+        """Id array -> token strings."""
+        out = []
+        for i in ids:
+            if not 0 <= int(i) < len(self._id_to_token):
+                raise ValueError(f"id {i} out of range")
+            out.append(self._id_to_token[int(i)])
+        return out
+
+    def id_of(self, token: str) -> int:
+        """Id of ``token`` (0 if unknown)."""
+        return self._token_to_id.get(token, 0)
+
+    def __repr__(self) -> str:
+        return f"Vocabulary(size={len(self)})"

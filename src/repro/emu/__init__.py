@@ -1,0 +1,25 @@
+"""Discrete-event master/slave cluster emulation (paper Sec. V-C).
+
+The paper's EC2 deployment measures *network footprint* (uploaded
+rounds and bytes), explicitly not wall-clock transfer time; an
+event-driven emulation measures the same quantities deterministically.
+The emulator wraps a federated trainer with a link model (bandwidth +
+latency per node), a compute model (per-sample training cost, per-
+parameter relevance-check cost) and byte-level message accounting,
+producing the per-round timeline behind Figs. 7a/7b and the
+computation-overhead micro-benchmark.
+"""
+
+from repro.emu.network import LinkModel, NodeComputeModel
+from repro.emu.messages import MessageKind, message_size
+from repro.emu.cluster import ClusterEmulator, EmulationReport, RoundTiming
+
+__all__ = [
+    "LinkModel",
+    "NodeComputeModel",
+    "MessageKind",
+    "message_size",
+    "ClusterEmulator",
+    "EmulationReport",
+    "RoundTiming",
+]

@@ -1,0 +1,160 @@
+"""The master/slave cluster emulator.
+
+Wraps a :class:`~repro.fl.trainer.FederatedTrainer` and replays each
+synchronous round through the link/compute models:
+
+1. the master broadcasts the model (+ feedback) to every slave;
+2. every slave trains locally and runs its upload-policy check;
+3. uploading slaves send a full UPDATE, filtered slaves a STATUS;
+4. the barrier closes when the slowest slave's upload lands.
+
+The emulator keeps a byte ledger per message kind and a per-round
+timing record, which together generate Fig. 7a (accuracy vs rounds on
+the cluster), Fig. 7b (uploaded data volume at given accuracies) and
+the Sec. V-C computation-overhead numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.emu.messages import MessageKind, message_size
+from repro.emu.network import LinkModel, NodeComputeModel
+from repro.fl.history import RoundRecord
+from repro.fl.trainer import FederatedTrainer
+
+
+@dataclass
+class RoundTiming:
+    """Wall-clock decomposition of one emulated round (seconds)."""
+
+    iteration: int
+    broadcast_time: float
+    slowest_compute_time: float
+    slowest_upload_time: float
+    relevance_check_time: float
+
+    @property
+    def total(self) -> float:
+        return self.broadcast_time + self.slowest_compute_time + self.slowest_upload_time
+
+
+@dataclass
+class EmulationReport:
+    """Aggregate outcome of an emulated run."""
+
+    n_clients: int
+    n_params: int
+    simulated_seconds: float = 0.0
+    bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+    timings: List[RoundTiming] = field(default_factory=list)
+
+    @property
+    def uploaded_megabytes(self) -> float:
+        """Upstream full-update traffic in MB (the Fig. 7b y-axis)."""
+        return self.bytes_by_kind.get(MessageKind.UPDATE.value, 0) / 1e6
+
+    @property
+    def upstream_megabytes(self) -> float:
+        """All upstream traffic (updates + status notices) in MB."""
+        up = self.bytes_by_kind.get(MessageKind.UPDATE.value, 0)
+        up += self.bytes_by_kind.get(MessageKind.STATUS.value, 0)
+        return up / 1e6
+
+    def relevance_overhead_fraction(self) -> float:
+        """Mean (relevance-check time / local-compute time) per round."""
+        if not self.timings:
+            raise ValueError("no rounds emulated")
+        fractions = [
+            t.relevance_check_time / t.slowest_compute_time
+            for t in self.timings
+            if t.slowest_compute_time > 0
+        ]
+        if not fractions:
+            raise ValueError("no rounds with positive compute time")
+        return float(np.mean(fractions))
+
+
+class ClusterEmulator:
+    """Replays federated rounds through network and compute models."""
+
+    def __init__(
+        self,
+        trainer: FederatedTrainer,
+        link: Optional[LinkModel] = None,
+        compute: Optional[NodeComputeModel] = None,
+        feedback_in_broadcast: bool = True,
+    ) -> None:
+        self.trainer = trainer
+        self.link = link or LinkModel()
+        self.compute = compute or NodeComputeModel()
+        self.feedback_in_broadcast = feedback_in_broadcast
+        self.report = EmulationReport(
+            n_clients=len(trainer.clients),
+            n_params=trainer.server.n_params,
+        )
+
+    def _account(self, kind: MessageKind, count: int = 1) -> int:
+        size = message_size(
+            kind, self.report.n_params, with_feedback=self.feedback_in_broadcast
+        )
+        total = size * count
+        key = kind.value
+        self.report.bytes_by_kind[key] = self.report.bytes_by_kind.get(key, 0) + total
+        return total
+
+    def run_round(self, t: int) -> RoundRecord:
+        """Execute one federated round and emulate its cluster timeline."""
+        record = self.trainer.run_round(t)
+        n_params = self.report.n_params
+
+        broadcast_bytes = self._account(
+            MessageKind.MODEL_BROADCAST, count=self.report.n_clients
+        )
+        # The master serialises broadcasts per slave; slaves receive in
+        # parallel, so the barrier cost is one transfer.
+        broadcast_time = self.link.transfer_time(
+            broadcast_bytes // max(self.report.n_clients, 1)
+        )
+
+        compute_times = [
+            self.compute.local_training_time(
+                c.n_samples, self.trainer.config.local_epochs
+            )
+            for c in self.trainer.clients
+        ]
+        check_time = self.compute.relevance_check_time(n_params)
+
+        uploaded = set(record.uploaded_ids)
+        upload_times = []
+        for client in self.trainer.clients:
+            kind = (
+                MessageKind.UPDATE
+                if client.client_id in uploaded
+                else MessageKind.STATUS
+            )
+            size = self._account(kind)
+            upload_times.append(self.link.transfer_time(size))
+
+        timing = RoundTiming(
+            iteration=t,
+            broadcast_time=broadcast_time,
+            slowest_compute_time=max(compute_times) + check_time,
+            slowest_upload_time=max(upload_times),
+            relevance_check_time=check_time,
+        )
+        self.report.timings.append(timing)
+        self.report.simulated_seconds += timing.total
+        return record
+
+    def run(self, rounds: int) -> EmulationReport:
+        """Emulate ``rounds`` synchronous iterations."""
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        start = len(self.trainer.history) + 1
+        for t in range(start, start + rounds):
+            self.run_round(t)
+        return self.report

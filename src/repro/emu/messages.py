@@ -1,0 +1,42 @@
+"""Wire messages of the master/slave protocol and their sizes."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.nn.serialization import STATUS_MESSAGE_BYTES, update_nbytes
+
+#: Fixed framing overhead per message (headers, ids, round number).
+HEADER_BYTES = 32
+
+
+class MessageKind(Enum):
+    """Protocol message types.
+
+    MODEL_BROADCAST carries the global model *and* the feedback global
+    update u_bar (CMFL's only protocol change to vanilla FL, and it
+    rides the broadcast the server sends anyway).  UPDATE is a full
+    client update; STATUS the tiny "trained but withheld" notice.
+    """
+
+    MODEL_BROADCAST = "model_broadcast"
+    UPDATE = "update"
+    STATUS = "status"
+
+
+def message_size(kind: MessageKind, n_params: int, with_feedback: bool = True) -> int:
+    """Bytes on the wire for one message of ``kind``.
+
+    ``with_feedback`` doubles the broadcast payload (model + previous
+    global update); vanilla FL broadcasts the model only.
+    """
+    if n_params < 0:
+        raise ValueError("n_params must be >= 0")
+    if kind is MessageKind.MODEL_BROADCAST:
+        payload = update_nbytes(n_params) * (2 if with_feedback else 1)
+        return HEADER_BYTES + payload
+    if kind is MessageKind.UPDATE:
+        return HEADER_BYTES + update_nbytes(n_params)
+    if kind is MessageKind.STATUS:
+        return HEADER_BYTES + STATUS_MESSAGE_BYTES
+    raise ValueError(f"unknown message kind: {kind}")

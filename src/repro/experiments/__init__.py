@@ -1,0 +1,18 @@
+"""One module per paper figure/table, plus shared workload builders.
+
+Every experiment module exposes ``run(scale=...)`` returning a result
+object with a ``report()`` method that prints the same rows/series the
+paper reports.  ``scale`` selects a preset: ``"test"`` (seconds, for
+the test suite), ``"bench"`` (minutes, the default for the benchmark
+harness) or ``"paper"`` (the paper's client counts and model sizes).
+"""
+
+from repro.experiments.workloads import (
+    SCALES,
+    DigitsWorkload,
+    NWPWorkload,
+    Scale,
+    resolve_scale,
+)
+
+__all__ = ["Scale", "SCALES", "resolve_scale", "DigitsWorkload", "NWPWorkload"]

@@ -1,0 +1,58 @@
+"""Run every paper experiment in sequence and print all reports.
+
+Usage:
+    python -m repro.experiments.run_all [test|bench|paper]
+
+The positional argument (or $REPRO_SCALE) selects the size preset.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional
+
+from repro.experiments import (
+    ablations,
+    convergence_check,
+    fig1_divergence,
+    fig2_measures,
+    fig3_delta_update,
+    fig4_table1,
+    fig5_table2,
+    fig6_outliers,
+    fig7_ec2,
+    micro_overhead,
+)
+
+EXPERIMENTS = (
+    ("fig1_divergence", fig1_divergence),
+    ("fig2_measures", fig2_measures),
+    ("fig3_delta_update", fig3_delta_update),
+    ("fig4_table1", fig4_table1),
+    ("fig5_table2", fig5_table2),
+    ("fig6_outliers", fig6_outliers),
+    ("fig7_ec2", fig7_ec2),
+    ("micro_overhead", micro_overhead),
+    ("convergence_check", convergence_check),
+    ("ablations", ablations),
+)
+
+
+def run_all(scale: Optional[str] = None) -> None:
+    """Execute every experiment at ``scale`` and print each report."""
+    for name, module in EXPERIMENTS:
+        start = time.perf_counter()
+        result = module.run(scale)
+        elapsed = time.perf_counter() - start
+        print(f"\n{'=' * 72}\n{name}  ({elapsed:.1f}s)\n{'=' * 72}")
+        print(result.report())
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else None
+    run_all(scale)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""The synchronous federated-learning engine.
+
+One :class:`~repro.fl.trainer.FederatedTrainer` drives the paper's
+three-step synchronous scheme (Sec. II-A): clients train locally on
+private shards, an upload policy filters their updates, and the server
+averages whatever arrived into a global update.  Communication-round
+and byte accounting happen inline so every experiment reads its metrics
+from the run history.
+"""
+
+from repro.fl.config import FLConfig
+from repro.fl.workspace import ModelWorkspace
+from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.server import FLServer
+from repro.fl.aggregation import mean_aggregate, weighted_mean_aggregate
+from repro.fl.accounting import CommunicationLedger
+from repro.fl.history import RoundRecord, RunHistory
+from repro.fl.sampling import FullParticipation, UniformSampler, UnreliableParticipation
+from repro.fl.privacy import GaussianMechanism, PrivatizedPolicy
+from repro.fl.secure import SecureAggregator
+from repro.fl.trainer import FederatedTrainer
+
+__all__ = [
+    "FLConfig",
+    "ModelWorkspace",
+    "FLClient",
+    "ClientUpdate",
+    "FLServer",
+    "mean_aggregate",
+    "weighted_mean_aggregate",
+    "CommunicationLedger",
+    "RoundRecord",
+    "RunHistory",
+    "FullParticipation",
+    "UniformSampler",
+    "UnreliableParticipation",
+    "SecureAggregator",
+    "GaussianMechanism",
+    "PrivatizedPolicy",
+    "FederatedTrainer",
+]

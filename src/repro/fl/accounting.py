@@ -1,0 +1,55 @@
+"""Communication accounting (paper Sec. II-B).
+
+The paper's primary metric is the *accumulated communication rounds*
+Phi = sum_t |S_t| -- the total number of full updates uploaded.  The
+EC2 experiment (Fig. 7b) additionally reports the uploaded byte volume,
+where a filtered client sends only a tiny status message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.nn.serialization import STATUS_MESSAGE_BYTES, update_nbytes
+
+
+@dataclass
+class CommunicationLedger:
+    """Running totals of uploads, skips and bytes for one federated run."""
+
+    n_params: int
+    accumulated_rounds: int = 0
+    uploaded_bytes: int = 0
+    status_bytes: int = 0
+    skips_per_client: Dict[int, int] = field(default_factory=dict)
+    uploads_per_client: Dict[int, int] = field(default_factory=dict)
+    rounds_per_iteration: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_params < 1:
+            raise ValueError("n_params must be >= 1")
+
+    def record_round(self, uploaded_ids: List[int], skipped_ids: List[int]) -> None:
+        """Account one synchronous iteration's traffic."""
+        r_t = len(uploaded_ids)
+        self.accumulated_rounds += r_t
+        self.rounds_per_iteration.append(r_t)
+        self.uploaded_bytes += r_t * update_nbytes(self.n_params)
+        self.status_bytes += len(skipped_ids) * STATUS_MESSAGE_BYTES
+        for cid in uploaded_ids:
+            self.uploads_per_client[cid] = self.uploads_per_client.get(cid, 0) + 1
+        for cid in skipped_ids:
+            self.skips_per_client[cid] = self.skips_per_client.get(cid, 0) + 1
+
+    @property
+    def total_bytes(self) -> int:
+        """All upstream traffic: full updates plus skip-status messages."""
+        return self.uploaded_bytes + self.status_bytes
+
+    def total_megabytes(self) -> float:
+        return self.total_bytes / 1e6
+
+    def elimination_counts(self, n_clients: int) -> List[int]:
+        """Per-client skip counts, densely indexed 0..n_clients-1 (Fig. 6 input)."""
+        return [self.skips_per_client.get(c, 0) for c in range(n_clients)]

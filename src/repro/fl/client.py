@@ -1,0 +1,78 @@
+"""A federated client: private data plus local optimisation.
+
+Per the paper's Eq. (2), a client's *update* for round t is the total
+parameter motion of its local training started from the broadcast
+global model: u_{k,t} = x_local_final - x_{t-1} (the sum of its
+-eta * gradient steps over E local epochs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.fl.workspace import ModelWorkspace
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class ClientUpdate:
+    """Result of one client's local round."""
+
+    client_id: int
+    update: np.ndarray
+    n_samples: int
+    train_loss: float
+
+
+class FLClient:
+    """One participating device: a data shard and a batching stream."""
+
+    def __init__(
+        self,
+        client_id: int,
+        train_data: Dataset,
+        rng: RngLike = None,
+    ) -> None:
+        if client_id < 0:
+            raise ValueError("client_id must be >= 0")
+        self.client_id = client_id
+        self.train_data = train_data
+        self._rng = ensure_rng(rng)
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.train_data)
+
+    def compute_update(
+        self,
+        workspace: ModelWorkspace,
+        global_params: np.ndarray,
+        lr: float,
+        local_epochs: int,
+        batch_size: int,
+    ) -> ClientUpdate:
+        """Run E local epochs of minibatch SGD from ``global_params``.
+
+        The workspace is loaded with the global model first, so calling
+        this for many clients from a single shared workspace is safe.
+        """
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        workspace.load_flat(global_params)
+        losses = []
+        for _ in range(local_epochs):
+            for xb, yb in self.train_data.batches(batch_size, rng=self._rng):
+                losses.append(workspace.train_step(xb, yb, lr))
+        update = workspace.get_flat() - global_params
+        return ClientUpdate(
+            client_id=self.client_id,
+            update=update,
+            n_samples=self.n_samples,
+            train_loss=float(np.mean(losses)),
+        )
+
+    def __repr__(self) -> str:
+        return f"FLClient(id={self.client_id}, n={self.n_samples})"

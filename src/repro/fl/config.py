@@ -1,0 +1,53 @@
+"""Federated training configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nn.schedules import ConstantLR, LRSchedule
+
+#: What to do in a round where every update was filtered out.
+#: "keep"  -- leave the model unchanged and reuse the previous feedback
+#:            (the literal reading of Algorithm 1; with few clients this
+#:            can freeze the feedback and stall the run permanently);
+#: "force_best" -- upload the single highest-scoring update anyway, so
+#:            the model never fully stalls (the default: at the paper's
+#:            100-client scale some update always passes, so this rescue
+#:            only matters for small federations).
+EMPTY_ROUND_MODES = ("keep", "force_best")
+
+
+@dataclass
+class FLConfig:
+    """Hyper-parameters of a federated run.
+
+    Mirrors the paper's Sec. V-A setup: ``local_epochs`` is the paper's
+    E (passes over the local dataset per round), ``batch_size`` its B,
+    and the learning-rate schedule defaults to a constant but is set to
+    ``InverseSqrtLR`` by the experiments that follow the paper.
+    """
+
+    rounds: int = 100
+    local_epochs: int = 4
+    batch_size: int = 2
+    lr: LRSchedule = field(default_factory=lambda: ConstantLR(0.05))
+    eval_every: int = 1
+    eval_batch_size: int = 256
+    on_empty_round: str = "force_best"
+    weighted_aggregation: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if self.local_epochs < 1:
+            raise ValueError("local_epochs must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.eval_every < 1:
+            raise ValueError("eval_every must be >= 1")
+        if self.on_empty_round not in EMPTY_ROUND_MODES:
+            raise ValueError(
+                f"on_empty_round must be one of {EMPTY_ROUND_MODES}, "
+                f"got {self.on_empty_round!r}"
+            )

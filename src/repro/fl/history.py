@@ -1,0 +1,83 @@
+"""Per-round run records and the history container experiments consume."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass
+class RoundRecord:
+    """Everything measured in one synchronous federated iteration."""
+
+    iteration: int
+    n_clients: int
+    n_uploaded: int
+    accumulated_rounds: int
+    total_bytes: int
+    lr: float
+    mean_train_loss: float
+    mean_score: float
+    threshold: float
+    test_loss: Optional[float] = None
+    test_metric: Optional[float] = None
+    uploaded_ids: List[int] = field(default_factory=list)
+
+    @property
+    def upload_fraction(self) -> float:
+        return self.n_uploaded / self.n_clients if self.n_clients else 0.0
+
+
+class RunHistory:
+    """Ordered round records plus convenience array views."""
+
+    def __init__(self, policy_name: str) -> None:
+        self.policy_name = policy_name
+        self.records: List[RoundRecord] = []
+
+    def append(self, record: RoundRecord) -> None:
+        if self.records and record.iteration <= self.records[-1].iteration:
+            raise ValueError("round records must have increasing iterations")
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def final(self) -> RoundRecord:
+        if not self.records:
+            raise ValueError("history is empty")
+        return self.records[-1]
+
+    def iterations(self) -> np.ndarray:
+        return np.asarray([r.iteration for r in self.records])
+
+    def accumulated_rounds(self) -> np.ndarray:
+        return np.asarray([r.accumulated_rounds for r in self.records])
+
+    def total_bytes(self) -> np.ndarray:
+        return np.asarray([r.total_bytes for r in self.records])
+
+    def scores(self) -> np.ndarray:
+        """Mean policy score (relevance / significance) per round."""
+        return np.asarray([r.mean_score for r in self.records])
+
+    def train_losses(self) -> np.ndarray:
+        return np.asarray([r.mean_train_loss for r in self.records])
+
+    def evaluated_points(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """(iterations, accumulated_rounds, test_metric) where evaluated."""
+        rows = [
+            (r.iteration, r.accumulated_rounds, r.test_metric)
+            for r in self.records
+            if r.test_metric is not None
+        ]
+        if not rows:
+            return np.array([]), np.array([]), np.array([])
+        arr = np.asarray(rows, dtype=float)
+        return arr[:, 0], arr[:, 1], arr[:, 2]

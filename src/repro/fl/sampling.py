@@ -1,0 +1,80 @@
+"""Per-round client participation: sampling and failure injection.
+
+The paper assumes every client participates in every synchronous round.
+Real deployments (McMahan et al., the paper's reference [5]) select a
+fraction C of clients per round, and devices drop out mid-round.  These
+samplers slot into :class:`~repro.fl.trainer.FederatedTrainer` to model
+both; CMFL is unchanged -- whoever participates still runs the
+relevance check before uploading.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.fl.client import FLClient
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class ClientSampler:
+    """Chooses which clients train in a given round."""
+
+    def select(self, iteration: int, clients: Sequence[FLClient]) -> List[FLClient]:
+        raise NotImplementedError
+
+
+class FullParticipation(ClientSampler):
+    """Every client, every round (the paper's setting)."""
+
+    def select(self, iteration: int, clients: Sequence[FLClient]) -> List[FLClient]:
+        del iteration
+        return list(clients)
+
+
+class UniformSampler(ClientSampler):
+    """A uniformly random fraction C of clients per round (FedAvg's C)."""
+
+    def __init__(self, fraction: float, rng: RngLike = None) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+        self._rng = ensure_rng(rng)
+
+    def select(self, iteration: int, clients: Sequence[FLClient]) -> List[FLClient]:
+        del iteration
+        k = max(1, int(round(self.fraction * len(clients))))
+        idx = self._rng.choice(len(clients), size=k, replace=False)
+        return [clients[i] for i in sorted(idx)]
+
+
+class UnreliableParticipation(ClientSampler):
+    """Failure injection: each selected client drops out with probability p.
+
+    Models devices losing connectivity mid-round; at least one survivor
+    is guaranteed (a fully dead round would deadlock a synchronous
+    barrier, which real servers handle with timeouts we do not model).
+    """
+
+    def __init__(
+        self,
+        base: ClientSampler,
+        drop_probability: float,
+        rng: RngLike = None,
+    ) -> None:
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError(
+                f"drop_probability must be in [0, 1), got {drop_probability}"
+            )
+        self.base = base
+        self.drop_probability = drop_probability
+        self._rng = ensure_rng(rng)
+
+    def select(self, iteration: int, clients: Sequence[FLClient]) -> List[FLClient]:
+        selected = self.base.select(iteration, clients)
+        survivors = [
+            c for c in selected if self._rng.random() >= self.drop_probability
+        ]
+        if not survivors:
+            keep = self._rng.integers(0, len(selected))
+            survivors = [selected[keep]]
+        return survivors

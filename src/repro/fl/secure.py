@@ -1,0 +1,128 @@
+"""Pairwise-masking secure aggregation (Bonawitz et al., the paper's [15]).
+
+The paper's privacy story rests on clients uploading only ephemeral,
+anonymous updates; its reference [15] goes further and hides individual
+updates from the server entirely.  This module implements the core
+protocol over our flat update vectors:
+
+- every pair of participating clients (i, j) derives a shared mask
+  m_ij from a common seed;
+- client i uploads  u_i + sum_{j>i} m_ij - sum_{j<i} m_ji;
+- the masks cancel pairwise in the server's sum, so the server learns
+  only the aggregate -- never an individual update.
+
+CMFL composes naturally: the relevance check runs *client-side* on the
+raw update before masking, so filtering costs no privacy.  The dropout
+problem (masks of vanished clients not cancelling) is handled the way
+the real protocol does conceptually: the surviving clients re-reveal
+the pairwise seeds they shared with the dropped client so the server
+can subtract the orphaned masks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def _pair_seed(master_seed: int, i: int, j: int) -> int:
+    """Deterministic per-pair seed; symmetric in (i, j)."""
+    lo, hi = (i, j) if i < j else (j, i)
+    mix = np.random.SeedSequence(entropy=[master_seed, lo, hi])
+    return int(mix.generate_state(1)[0])
+
+
+def pairwise_mask(
+    master_seed: int, i: int, j: int, n_params: int, scale: float = 1.0
+) -> np.ndarray:
+    """The mask client pair (i, j) shares; identical for both orders."""
+    if i == j:
+        raise ValueError("a client does not mask against itself")
+    if n_params < 1:
+        raise ValueError("n_params must be >= 1")
+    gen = np.random.default_rng(_pair_seed(master_seed, i, j))
+    return gen.normal(0.0, scale, size=n_params)
+
+
+class SecureAggregator:
+    """Server-side state of one secure-aggregation round."""
+
+    def __init__(
+        self,
+        participant_ids: Sequence[int],
+        n_params: int,
+        master_seed: int,
+        mask_scale: float = 1.0,
+    ) -> None:
+        ids = list(participant_ids)
+        if len(set(ids)) != len(ids):
+            raise ValueError("participant ids must be unique")
+        if len(ids) < 2:
+            raise ValueError("secure aggregation needs >= 2 participants")
+        self.participant_ids = ids
+        self.n_params = n_params
+        self.master_seed = master_seed
+        self.mask_scale = mask_scale
+        self._received: Dict[int, np.ndarray] = {}
+
+    # -- client side ----------------------------------------------------
+    def mask_update(self, client_id: int, update: np.ndarray) -> np.ndarray:
+        """What client ``client_id`` actually uploads."""
+        if client_id not in self.participant_ids:
+            raise ValueError(f"client {client_id} is not in this round")
+        vec = np.asarray(update, dtype=float).reshape(-1)
+        if vec.size != self.n_params:
+            raise ValueError("update size mismatch")
+        masked = vec.copy()
+        for other in self.participant_ids:
+            if other == client_id:
+                continue
+            mask = pairwise_mask(
+                self.master_seed, client_id, other, self.n_params,
+                self.mask_scale,
+            )
+            masked += mask if client_id < other else -mask
+        return masked
+
+    # -- server side ----------------------------------------------------
+    def submit(self, client_id: int, masked_update: np.ndarray) -> None:
+        if client_id in self._received:
+            raise ValueError(f"client {client_id} already submitted")
+        if client_id not in self.participant_ids:
+            raise ValueError(f"client {client_id} is not in this round")
+        self._received[client_id] = np.asarray(
+            masked_update, dtype=float
+        ).reshape(-1)
+
+    def missing(self) -> List[int]:
+        return [c for c in self.participant_ids if c not in self._received]
+
+    def aggregate(self) -> Tuple[np.ndarray, int]:
+        """(sum of raw updates, number of contributors).
+
+        If some participants dropped after masks were established, the
+        survivors' orphaned masks are reconstructed from the shared
+        seeds and subtracted -- the protocol's unmasking phase.
+        """
+        if not self._received:
+            raise ValueError("no submissions to aggregate")
+        total = np.zeros(self.n_params)
+        for vec in self._received.values():
+            total += vec
+        for dropped in self.missing():
+            for survivor in self._received:
+                mask = pairwise_mask(
+                    self.master_seed, survivor, dropped, self.n_params,
+                    self.mask_scale,
+                )
+                # Remove the survivor's contribution of this orphan mask.
+                total -= mask if survivor < dropped else -mask
+        return total, len(self._received)
+
+    def aggregate_mean(self) -> np.ndarray:
+        """The mean update (Algorithm 1 line 8) under the hood of masks."""
+        total, count = self.aggregate()
+        return total / count

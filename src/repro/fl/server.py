@@ -1,0 +1,68 @@
+"""The central server: global model state plus feedback broadcasting."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.feedback import GlobalUpdateEstimator
+from repro.fl.aggregation import mean_aggregate, weighted_mean_aggregate
+from repro.fl.client import ClientUpdate
+
+
+class FLServer:
+    """Holds the global parameters and aggregates received updates.
+
+    Implements Algorithm 1's GlobalOptimization: after collecting the
+    relevant updates S_t, the global update is their mean, the model is
+    moved by it, and the update is remembered as the next round's
+    feedback u_bar_t.
+    """
+
+    def __init__(
+        self,
+        initial_params: np.ndarray,
+        weighted: bool = False,
+        feedback_staleness: int = 1,
+    ) -> None:
+        params = np.asarray(initial_params, dtype=float).reshape(-1)
+        if params.size == 0:
+            raise ValueError("initial parameters cannot be empty")
+        self.global_params = params.copy()
+        self.weighted = weighted
+        self.estimator = GlobalUpdateEstimator(
+            params.size, staleness=feedback_staleness
+        )
+
+    @property
+    def n_params(self) -> int:
+        return self.global_params.size
+
+    @property
+    def feedback(self) -> np.ndarray:
+        """u_bar broadcast to clients alongside the global model."""
+        return self.estimator.estimate
+
+    def apply_round(self, updates: List[ClientUpdate]) -> Optional[np.ndarray]:
+        """Aggregate ``updates`` and advance the global model.
+
+        Returns the global update applied, or ``None`` when no updates
+        arrived (the model and feedback are then left untouched).
+        """
+        if not updates:
+            return None
+        for u in updates:
+            if u.update.shape != (self.n_params,):
+                raise ValueError(
+                    f"client {u.client_id} sent an update of shape "
+                    f"{u.update.shape}, expected ({self.n_params},)"
+                )
+        aggregate = (
+            weighted_mean_aggregate(updates)
+            if self.weighted
+            else mean_aggregate(updates)
+        )
+        self.global_params += aggregate
+        self.estimator.observe(aggregate)
+        return aggregate

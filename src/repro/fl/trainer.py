@@ -1,0 +1,143 @@
+"""The synchronous federated training loop (paper Algorithm 1).
+
+Each iteration: broadcast (x_{t-1}, u_bar_{t-1}); every client trains
+locally and judges its update with the configured upload policy; the
+server averages the uploaded updates into the new global model.  All
+communication and measurement bookkeeping is recorded per round.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.policy import PolicyContext, UploadPolicy
+from repro.fl.accounting import CommunicationLedger
+from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.config import FLConfig
+from repro.fl.history import RoundRecord, RunHistory
+from repro.fl.sampling import ClientSampler, FullParticipation
+from repro.fl.server import FLServer
+from repro.fl.workspace import ModelWorkspace
+
+#: Optional evaluation callback: (workspace with global params loaded) ->
+#: (test_loss, test_metric).
+EvalFn = Callable[[ModelWorkspace], Tuple[float, float]]
+
+
+class FederatedTrainer:
+    """Drives one policy over one federation of clients."""
+
+    def __init__(
+        self,
+        workspace: ModelWorkspace,
+        clients: Sequence[FLClient],
+        policy: UploadPolicy,
+        config: FLConfig,
+        eval_fn: Optional[EvalFn] = None,
+        feedback_staleness: int = 1,
+        sampler: Optional[ClientSampler] = None,
+    ) -> None:
+        if not clients:
+            raise ValueError("need at least one client")
+        ids = [c.client_id for c in clients]
+        if len(set(ids)) != len(ids):
+            raise ValueError("client ids must be unique")
+        self.workspace = workspace
+        self.clients = list(clients)
+        self.policy = policy
+        self.config = config
+        self.eval_fn = eval_fn
+        self.sampler = sampler or FullParticipation()
+        self.server = FLServer(
+            workspace.get_flat(),
+            weighted=config.weighted_aggregation,
+            feedback_staleness=feedback_staleness,
+        )
+        self.ledger = CommunicationLedger(n_params=self.server.n_params)
+        self.history = RunHistory(policy_name=policy.name)
+        # Hook for measurement experiments: called with every
+        # (client update, decision) pair before aggregation.
+        self.on_decision: Optional[Callable] = None
+
+    def run_round(self, t: int) -> RoundRecord:
+        """Execute one synchronous iteration (1-based index ``t``)."""
+        lr = self.config.lr(t)
+        feedback = self.server.feedback
+        global_params = self.server.global_params.copy()
+
+        participants = self.sampler.select(t, self.clients)
+        if not participants:
+            raise RuntimeError(f"sampler selected no clients in round {t}")
+
+        uploads: List[ClientUpdate] = []
+        skipped: List[ClientUpdate] = []
+        scores: List[float] = []
+        losses: List[float] = []
+        threshold = 0.0
+        for client in participants:
+            result = client.compute_update(
+                self.workspace,
+                global_params,
+                lr=lr,
+                local_epochs=self.config.local_epochs,
+                batch_size=self.config.batch_size,
+            )
+            ctx = PolicyContext(
+                iteration=t,
+                global_params=global_params,
+                global_update_estimate=feedback,
+                client_id=client.client_id,
+            )
+            decision = self.policy.decide(result.update, ctx)
+            if self.on_decision is not None:
+                self.on_decision(result, decision)
+            scores.append(decision.score)
+            losses.append(result.train_loss)
+            threshold = decision.threshold
+            if decision.upload:
+                uploads.append(result)
+            else:
+                skipped.append(result)
+
+        if not uploads and self.config.on_empty_round == "force_best":
+            best = int(np.argmax(scores))
+            forced = next(
+                u for u in skipped if u.client_id == participants[best].client_id
+            )
+            skipped.remove(forced)
+            uploads.append(forced)
+
+        self.server.apply_round(uploads)
+        self.ledger.record_round(
+            [u.client_id for u in uploads], [s.client_id for s in skipped]
+        )
+
+        record = RoundRecord(
+            iteration=t,
+            n_clients=len(participants),
+            n_uploaded=len(uploads),
+            accumulated_rounds=self.ledger.accumulated_rounds,
+            total_bytes=self.ledger.total_bytes,
+            lr=lr,
+            mean_train_loss=float(np.mean(losses)),
+            mean_score=float(np.mean(scores)),
+            threshold=threshold,
+            uploaded_ids=[u.client_id for u in uploads],
+        )
+        if self.eval_fn is not None and t % self.config.eval_every == 0:
+            self.workspace.load_flat(self.server.global_params)
+            record.test_loss, record.test_metric = self.eval_fn(self.workspace)
+        self.history.append(record)
+        return record
+
+    def run(self, rounds: Optional[int] = None) -> RunHistory:
+        """Run ``rounds`` iterations (default: the configured count)."""
+        total = self.config.rounds if rounds is None else rounds
+        if total < 1:
+            raise ValueError("rounds must be >= 1")
+        start = len(self.history) + 1
+        for t in range(start, start + total):
+            self.run_round(t)
+        return self.history

@@ -1,0 +1,7 @@
+"""Ready-made model architectures matching the paper's workloads."""
+
+from repro.models.digits_cnn import make_digits_cnn
+from repro.models.nwp_lstm import make_nwp_lstm
+from repro.models.linear import make_logistic_regression
+
+__all__ = ["make_digits_cnn", "make_nwp_lstm", "make_logistic_regression"]

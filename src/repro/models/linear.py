@@ -1,0 +1,25 @@
+"""Linear models: logistic regression for MTL tasks and convex analyses."""
+
+from __future__ import annotations
+
+from repro.nn.layers.dense import Dense
+from repro.nn.module import Sequential
+from repro.utils.rng import RngLike
+
+
+def make_logistic_regression(
+    n_features: int, rng: RngLike = None, zero_init: bool = False
+) -> Sequential:
+    """Single-logit linear classifier (pair with SigmoidBinaryCrossEntropy).
+
+    ``zero_init`` starts from the origin, the conventional choice for
+    convex convergence experiments.
+    """
+    layer = Dense(
+        n_features,
+        1,
+        rng=rng,
+        weight_init="zeros" if zero_init else "glorot_uniform",
+        name="logreg",
+    )
+    return Sequential([layer])

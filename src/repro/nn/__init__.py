@@ -1,0 +1,76 @@
+"""A from-scratch numpy neural-network substrate.
+
+The paper trains its models in TensorFlow; CMFL itself only ever sees
+flattened update vectors, so any correct SGD learner reproduces the
+algorithm's behaviour.  This package provides exactly that: a small,
+fully backpropagated layer library (dense, convolution, pooling, LSTM,
+embedding, dropout), losses, optimizers and the flat-vector parameter
+(de)serialisation the federated engine is built on.
+
+Every layer follows the same contract:
+
+- ``forward(x, training=...)`` caches whatever the backward pass needs;
+- ``backward(grad_output)`` accumulates parameter gradients into
+  ``Parameter.grad`` and returns the gradient w.r.t. the layer input.
+
+All gradients are verified against finite differences in the test suite
+(see :mod:`repro.nn.gradcheck`).
+"""
+
+from repro.nn.parameter import Parameter
+from repro.nn.module import Module, Sequential
+from repro.nn.activations import ReLU, Sigmoid, Tanh
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.conv import Conv2D, MaxPool2D
+from repro.nn.layers.recurrent import LSTM
+from repro.nn.layers.embedding import Embedding
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.reshape import Flatten
+from repro.nn.losses import (
+    Loss,
+    MeanSquaredError,
+    SigmoidBinaryCrossEntropy,
+    SoftmaxCrossEntropy,
+)
+from repro.nn.optimizers import SGD, Adam, Momentum, Optimizer
+from repro.nn.schedules import ConstantLR, InverseSqrtLR, StepLR
+from repro.nn.serialization import (
+    assign_flat_parameters,
+    flatten_parameters,
+    parameter_count,
+    update_nbytes,
+)
+from repro.nn.metrics import accuracy, binary_accuracy
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Sequential",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "LSTM",
+    "Embedding",
+    "Dropout",
+    "Flatten",
+    "Loss",
+    "SoftmaxCrossEntropy",
+    "SigmoidBinaryCrossEntropy",
+    "MeanSquaredError",
+    "Optimizer",
+    "SGD",
+    "Momentum",
+    "Adam",
+    "ConstantLR",
+    "InverseSqrtLR",
+    "StepLR",
+    "flatten_parameters",
+    "assign_flat_parameters",
+    "parameter_count",
+    "update_nbytes",
+    "accuracy",
+    "binary_accuracy",
+]

@@ -1,0 +1,81 @@
+"""Weight initialisation schemes.
+
+All initialisers take an explicit ``numpy.random.Generator`` so model
+construction is deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def _fans(shape: Sequence[int]) -> Tuple[int, int]:
+    """(fan_in, fan_out) for dense and convolutional weight shapes."""
+    if len(shape) < 1:
+        raise ValueError("initialiser needs a non-scalar shape")
+    if len(shape) == 1:
+        return int(shape[0]), int(shape[0])
+    if len(shape) == 2:
+        return int(shape[0]), int(shape[1])
+    # Convolution (out_channels, in_channels, kh, kw).
+    receptive = int(np.prod(shape[2:]))
+    return int(shape[1]) * receptive, int(shape[0]) * receptive
+
+
+def zeros(shape: Sequence[int], rng: RngLike = None) -> np.ndarray:
+    del rng
+    return np.zeros(shape, dtype=float)
+
+
+def normal(shape: Sequence[int], rng: RngLike = None, std: float = 0.05) -> np.ndarray:
+    return ensure_rng(rng).normal(0.0, std, size=shape)
+
+
+def glorot_uniform(shape: Sequence[int], rng: RngLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform; the TF default the paper's models used."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return ensure_rng(rng).uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Sequence[int], rng: RngLike = None) -> np.ndarray:
+    """He-normal, suited to ReLU stacks."""
+    fan_in, _ = _fans(shape)
+    return ensure_rng(rng).normal(0.0, np.sqrt(2.0 / max(fan_in, 1)), size=shape)
+
+
+def orthogonal(shape: Sequence[int], rng: RngLike = None) -> np.ndarray:
+    """Orthogonal init for recurrent kernels (2-D shapes only)."""
+    if len(shape) != 2:
+        raise ValueError("orthogonal init requires a 2-D shape")
+    gen = ensure_rng(rng)
+    rows, cols = int(shape[0]), int(shape[1])
+    a = gen.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(a)
+    q = q * np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return np.ascontiguousarray(q[:rows, :cols])
+
+
+INITIALIZERS = {
+    "zeros": zeros,
+    "normal": normal,
+    "glorot_uniform": glorot_uniform,
+    "he_normal": he_normal,
+    "orthogonal": orthogonal,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initialiser by name."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown initializer {name!r}; choices: {sorted(INITIALIZERS)}"
+        ) from None

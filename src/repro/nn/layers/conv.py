@@ -1,0 +1,175 @@
+"""2-D convolution and max pooling, implemented with im2col.
+
+Inputs use the NCHW layout: ``(batch, channels, height, width)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.nn.initializers import get_initializer
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.rng import RngLike
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> Tuple[np.ndarray, int, int]:
+    """Unfold sliding windows of ``x`` into columns.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(batch, channels * kh * kw, out_h * out_w)``.
+    """
+    n, c, h, w = x.shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ValueError(f"kernel ({kh}x{kw}) larger than input ({h}x{w})")
+    s0, s1, s2, s3 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, out_h * out_w)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray, x_shape: Tuple[int, int, int, int], kh: int, kw: int, stride: int
+) -> np.ndarray:
+    """Fold column gradients back into an image-shaped gradient.
+
+    Inverse (adjoint) of :func:`im2col`: overlapping windows accumulate.
+    """
+    n, c, h, w = x_shape
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
+    cols6 = cols.reshape(n, c, kh, kw, out_h, out_w)
+    dx = np.zeros(x_shape, dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            dx[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += (
+                cols6[:, :, i, j]
+            )
+    return dx
+
+
+class Conv2D(Module):
+    """Valid-padding 2-D convolution (optionally with symmetric zero padding)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng: RngLike = None,
+        weight_init: str = "glorot_uniform",
+        name: str = "conv",
+    ) -> None:
+        if kernel_size < 1 or stride < 1 or padding < 0:
+            raise ValueError("invalid kernel_size/stride/padding")
+        init = get_initializer(weight_init)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init((out_channels, in_channels, kernel_size, kernel_size), rng),
+            name=f"{name}.weight",
+        )
+        self.bias = Parameter(np.zeros(out_channels), name=f"{name}.bias")
+        self._cols: np.ndarray | None = None
+        self._x_padded_shape: Tuple[int, int, int, int] | None = None
+        self._out_hw: Tuple[int, int] | None = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected input (batch, {self.in_channels}, H, W), got {x.shape}"
+            )
+        if self.padding:
+            pad = self.padding
+            x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        cols, out_h, out_w = im2col(x, self.kernel_size, self.kernel_size, self.stride)
+        self._cols = cols
+        self._x_padded_shape = x.shape
+        self._out_hw = (out_h, out_w)
+        w_rows = self.weight.data.reshape(self.out_channels, -1)
+        out = np.einsum("fk,nkl->nfl", w_rows, cols)
+        out += self.bias.data[None, :, None]
+        return out.reshape(x.shape[0], self.out_channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._out_hw is None or self._x_padded_shape is None:
+            raise RuntimeError("backward called before forward")
+        n = grad_output.shape[0]
+        out_h, out_w = self._out_hw
+        grad_flat = grad_output.reshape(n, self.out_channels, out_h * out_w)
+        dw = np.einsum("nfl,nkl->fk", grad_flat, self._cols)
+        self.weight.grad += dw.reshape(self.weight.data.shape)
+        self.bias.grad += grad_flat.sum(axis=(0, 2))
+        w_rows = self.weight.data.reshape(self.out_channels, -1)
+        dcols = np.einsum("fk,nfl->nkl", w_rows, grad_flat)
+        dx = col2im(
+            dcols, self._x_padded_shape, self.kernel_size, self.kernel_size, self.stride
+        )
+        if self.padding:
+            pad = self.padding
+            dx = dx[:, :, pad:-pad, pad:-pad]
+        return dx
+
+
+class MaxPool2D(Module):
+    """Non-overlapping max pooling (``stride == kernel_size``).
+
+    The input spatial extent must be divisible by the pool size; the
+    paper's models (28x28 images, 2x2 pools) satisfy this.
+    """
+
+    def __init__(self, pool_size: int = 2) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.pool_size = pool_size
+        self._mask: np.ndarray | None = None
+        self._in_shape: Tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        if x.ndim != 4:
+            raise ValueError(f"expected 4-D input, got shape {x.shape}")
+        n, c, h, w = x.shape
+        p = self.pool_size
+        if h % p or w % p:
+            raise ValueError(f"input {h}x{w} not divisible by pool size {p}")
+        self._in_shape = x.shape
+        blocks = x.reshape(n, c, h // p, p, w // p, p)
+        out = blocks.max(axis=(3, 5))
+        # Mask of the (first) maximal element in each block, used to route
+        # the gradient back in ``backward``.
+        expanded = out[:, :, :, None, :, None]
+        mask = blocks == expanded  # (n, c, oh, p, ow, p)
+        # Keep only the first max per block so ties do not duplicate gradient.
+        flat = mask.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h // p, w // p, p * p)
+        first = np.zeros_like(flat)
+        idx = flat.argmax(axis=-1)
+        np.put_along_axis(first, idx[..., None], True, axis=-1)
+        self._mask = first.reshape(n, c, h // p, w // p, p, p)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None or self._in_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._in_shape
+        p = self.pool_size
+        grad_blocks = grad_output[:, :, :, :, None, None] * self._mask
+        return grad_blocks.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h, w)

@@ -1,0 +1,66 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.nn.initializers import get_initializer
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.rng import RngLike
+
+
+class Dense(Module):
+    """Affine map ``y = x @ W + b`` over the last axis.
+
+    Accepts inputs of shape ``(batch, in_features)``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: RngLike = None,
+        weight_init: str = "glorot_uniform",
+        use_bias: bool = True,
+        name: str = "dense",
+    ) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ValueError("in_features and out_features must be positive")
+        init = get_initializer(weight_init)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init((in_features, out_features), rng), name=f"{name}.weight"
+        )
+        self.bias = (
+            Parameter(np.zeros(out_features), name=f"{name}.bias")
+            if use_bias
+            else None
+        )
+        self._x: np.ndarray | None = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight] + ([self.bias] if self.bias is not None else [])
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input (batch, {self.in_features}), got {x.shape}"
+            )
+        self._x = x
+        out = x @ self.weight.data
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.grad += self._x.T @ grad_output
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.data.T

@@ -1,0 +1,53 @@
+"""Token embedding lookup layer."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.nn.initializers import normal
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.rng import RngLike
+
+
+class Embedding(Module):
+    """Map integer token ids ``(batch, time)`` to vectors ``(batch, time, dim)``."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embedding_dim: int,
+        rng: RngLike = None,
+        name: str = "embedding",
+    ) -> None:
+        if vocab_size < 1 or embedding_dim < 1:
+            raise ValueError("vocab_size and embedding_dim must be positive")
+        self.vocab_size = vocab_size
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            normal((vocab_size, embedding_dim), rng, std=0.05), name=f"{name}.weight"
+        )
+        self._ids: np.ndarray | None = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        ids = np.asarray(x)
+        if not np.issubdtype(ids.dtype, np.integer):
+            raise TypeError(f"Embedding expects integer ids, got dtype {ids.dtype}")
+        if ids.min(initial=0) < 0 or ids.max(initial=0) >= self.vocab_size:
+            raise ValueError("token id out of range for vocabulary")
+        self._ids = ids
+        return self.weight.data[ids]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._ids is None:
+            raise RuntimeError("backward called before forward")
+        np.add.at(self.weight.grad, self._ids, grad_output)
+        # Token ids are not differentiable; return a zero placeholder of
+        # the input's shape for API uniformity.
+        return np.zeros(self._ids.shape)

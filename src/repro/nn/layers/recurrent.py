@@ -1,0 +1,132 @@
+"""LSTM layer with full backpropagation through time."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.nn.activations import sigmoid
+from repro.nn.initializers import glorot_uniform, orthogonal
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.rng import RngLike, child_rngs
+
+
+class LSTM(Module):
+    """A single LSTM layer over ``(batch, time, features)`` inputs.
+
+    Gate ordering inside the fused kernels is ``[input, forget, cell,
+    output]``.  With ``return_sequences=True`` the layer emits the full
+    hidden sequence ``(batch, time, hidden)``; otherwise only the final
+    hidden state ``(batch, hidden)``.  The forget-gate bias is
+    initialised to 1, the standard trick for stable early training.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: RngLike = None,
+        return_sequences: bool = True,
+        name: str = "lstm",
+    ) -> None:
+        if input_size < 1 or hidden_size < 1:
+            raise ValueError("input_size and hidden_size must be positive")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.return_sequences = return_sequences
+        rng_x, rng_h = child_rngs(rng, 2)
+        h = hidden_size
+        self.w_x = Parameter(
+            glorot_uniform((input_size, 4 * h), rng_x), name=f"{name}.w_x"
+        )
+        recurrent = np.concatenate(
+            [orthogonal((h, h), rng_h) for _ in range(4)], axis=1
+        )
+        self.w_h = Parameter(recurrent, name=f"{name}.w_h")
+        bias = np.zeros(4 * h)
+        bias[h : 2 * h] = 1.0  # forget-gate bias
+        self.bias = Parameter(bias, name=f"{name}.bias")
+        self._cache: dict | None = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.w_x, self.w_h, self.bias]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        if x.ndim != 3 or x.shape[2] != self.input_size:
+            raise ValueError(
+                f"expected input (batch, time, {self.input_size}), got {x.shape}"
+            )
+        n, t, _ = x.shape
+        h = self.hidden_size
+        hs = np.zeros((t + 1, n, h))
+        cs = np.zeros((t + 1, n, h))
+        gates = np.zeros((t, n, 4 * h))
+        for step in range(t):
+            z = x[:, step, :] @ self.w_x.data + hs[step] @ self.w_h.data + self.bias.data
+            i = sigmoid(z[:, :h])
+            f = sigmoid(z[:, h : 2 * h])
+            g = np.tanh(z[:, 2 * h : 3 * h])
+            o = sigmoid(z[:, 3 * h :])
+            cs[step + 1] = f * cs[step] + i * g
+            hs[step + 1] = o * np.tanh(cs[step + 1])
+            gates[step] = np.concatenate([i, f, g, o], axis=1)
+        self._cache = {"x": x, "hs": hs, "cs": cs, "gates": gates}
+        if self.return_sequences:
+            return hs[1:].transpose(1, 0, 2)
+        return hs[-1].copy()
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x = self._cache["x"]
+        hs = self._cache["hs"]
+        cs = self._cache["cs"]
+        gates = self._cache["gates"]
+        n, t, _ = x.shape
+        h = self.hidden_size
+
+        if self.return_sequences:
+            if grad_output.shape != (n, t, h):
+                raise ValueError(
+                    f"expected gradient shape {(n, t, h)}, got {grad_output.shape}"
+                )
+            grad_h_seq = grad_output.transpose(1, 0, 2)
+        else:
+            if grad_output.shape != (n, h):
+                raise ValueError(
+                    f"expected gradient shape {(n, h)}, got {grad_output.shape}"
+                )
+            grad_h_seq = np.zeros((t, n, h))
+            grad_h_seq[-1] = grad_output
+
+        dx = np.zeros_like(x)
+        dh_next = np.zeros((n, h))
+        dc_next = np.zeros((n, h))
+        for step in range(t - 1, -1, -1):
+            i = gates[step][:, :h]
+            f = gates[step][:, h : 2 * h]
+            g = gates[step][:, 2 * h : 3 * h]
+            o = gates[step][:, 3 * h :]
+            c = cs[step + 1]
+            tanh_c = np.tanh(c)
+
+            dh = grad_h_seq[step] + dh_next
+            dc = dc_next + dh * o * (1.0 - tanh_c**2)
+
+            di = dc * g * i * (1.0 - i)
+            df = dc * cs[step] * f * (1.0 - f)
+            dg = dc * i * (1.0 - g**2)
+            do = dh * tanh_c * o * (1.0 - o)
+            dz = np.concatenate([di, df, dg, do], axis=1)
+
+            self.w_x.grad += x[:, step, :].T @ dz
+            self.w_h.grad += hs[step].T @ dz
+            self.bias.grad += dz.sum(axis=0)
+
+            dx[:, step, :] = dz @ self.w_x.data.T
+            dh_next = dz @ self.w_h.data.T
+            dc_next = dc * f
+        return dx

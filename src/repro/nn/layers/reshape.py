@@ -1,0 +1,47 @@
+"""Shape-manipulation layers."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Flatten(Module):
+    """Collapse all axes but the batch axis: ``(N, ...) -> (N, prod(...))``."""
+
+    def __init__(self) -> None:
+        self._in_shape: Tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        self._in_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output.reshape(self._in_shape)
+
+
+class LastStep(Module):
+    """Select the final timestep of a ``(batch, time, features)`` sequence."""
+
+    def __init__(self) -> None:
+        self._in_shape: Tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        if x.ndim != 3:
+            raise ValueError(f"expected 3-D input, got shape {x.shape}")
+        self._in_shape = x.shape
+        return x[:, -1, :]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise RuntimeError("backward called before forward")
+        grad = np.zeros(self._in_shape)
+        grad[:, -1, :] = grad_output
+        return grad

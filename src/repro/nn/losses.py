@@ -1,0 +1,116 @@
+"""Loss functions with fused, numerically stable gradients.
+
+Each loss exposes ``forward(predictions, targets) -> float`` (mean loss
+over the batch) and ``backward() -> grad`` w.r.t. the predictions.  The
+softmax/sigmoid are fused into the cross-entropy losses so the gradient
+is the plain ``probabilities - onehot`` form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import sigmoid, softmax
+
+
+class Loss:
+    """Base class: call ``forward`` then ``backward`` once per step."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Multi-class cross-entropy over logits with integer class targets.
+
+    ``predictions``: logits ``(batch, classes)``;
+    ``targets``: integer labels ``(batch,)``.
+    """
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        targets = np.asarray(targets)
+        if predictions.ndim != 2:
+            raise ValueError(f"expected 2-D logits, got shape {predictions.shape}")
+        if targets.shape != (predictions.shape[0],):
+            raise ValueError(
+                f"targets shape {targets.shape} does not match batch "
+                f"{predictions.shape[0]}"
+            )
+        if not np.issubdtype(targets.dtype, np.integer):
+            raise TypeError("SoftmaxCrossEntropy expects integer class targets")
+        self._probs = softmax(predictions, axis=1)
+        self._targets = targets
+        picked = self._probs[np.arange(targets.size), targets]
+        return float(-np.mean(np.log(np.clip(picked, 1e-12, None))))
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None:
+            raise RuntimeError("backward called before forward")
+        grad = self._probs.copy()
+        grad[np.arange(self._targets.size), self._targets] -= 1.0
+        return grad / self._targets.size
+
+
+class SigmoidBinaryCrossEntropy(Loss):
+    """Binary cross-entropy over a single logit per example.
+
+    ``predictions``: logits ``(batch,)`` or ``(batch, 1)``;
+    ``targets``: labels in {0, 1} of matching shape.
+    """
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+        self._shape: tuple | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        self._shape = predictions.shape
+        logits = predictions.reshape(-1)
+        targets = np.asarray(targets, dtype=float).reshape(-1)
+        if logits.shape != targets.shape:
+            raise ValueError(
+                f"predictions {predictions.shape} and targets do not align"
+            )
+        # log(1 + exp(-|z|)) + max(z, 0) - z*y  is the stable BCE form.
+        loss = np.log1p(np.exp(-np.abs(logits))) + np.maximum(logits, 0.0)
+        loss -= logits * targets
+        self._probs = sigmoid(logits)
+        self._targets = targets
+        return float(np.mean(loss))
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None or self._shape is None:
+            raise RuntimeError("backward called before forward")
+        grad = (self._probs - self._targets) / self._targets.size
+        return grad.reshape(self._shape)
+
+
+class MeanSquaredError(Loss):
+    """Mean of squared differences, averaged over every element."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        targets = np.asarray(targets, dtype=float)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: {predictions.shape} vs {targets.shape}"
+            )
+        self._diff = predictions - targets
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size

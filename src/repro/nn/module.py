@@ -1,0 +1,75 @@
+"""Module base class and the ``Sequential`` container."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses implement :meth:`forward` (caching activations needed by
+    the backward pass) and :meth:`backward` (accumulating parameter
+    gradients, returning the input gradient).  The forward cache is
+    single-use: call ``forward`` then ``backward`` once per step.
+    """
+
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters of this module, in a stable order."""
+        return []
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def __repr__(self) -> str:
+        n = sum(p.size for p in self.parameters())
+        return f"{type(self).__name__}(parameters={n})"
+
+
+class Sequential(Module):
+    """Feed-forward composition of layers.
+
+    ``forward`` threads the input through each layer in order and
+    ``backward`` runs the chain rule in reverse.
+    """
+
+    def __init__(self, layers: Iterable[Module]) -> None:
+        self.layers: List[Module] = list(layers)
+        if not self.layers:
+            raise ValueError("Sequential requires at least one layer")
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __repr__(self) -> str:
+        inner = ", ".join(type(l).__name__ for l in self.layers)
+        return f"Sequential([{inner}])"

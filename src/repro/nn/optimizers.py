@@ -1,0 +1,127 @@
+"""First-order optimizers over ``Parameter`` lists."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class Optimizer:
+    """Base optimizer: subclasses implement the per-parameter update rule.
+
+    ``step(lr=...)`` applies one update using the accumulated gradients;
+    the learning rate can be overridden per step, which is how the
+    federated trainer implements the paper's eta_t = eta_0 / sqrt(t)
+    schedule.
+    """
+
+    def __init__(self, parameters: List[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        self.parameters = list(parameters)
+        self.lr = lr
+
+    def step(self, lr: Optional[float] = None) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional weight decay."""
+
+    def __init__(
+        self, parameters: List[Parameter], lr: float, weight_decay: float = 0.0
+    ) -> None:
+        super().__init__(parameters, lr)
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be >= 0")
+        self.weight_decay = weight_decay
+
+    def step(self, lr: Optional[float] = None) -> None:
+        eta = self.lr if lr is None else lr
+        for p in self.parameters:
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            p.data -= eta * grad
+
+
+class Momentum(Optimizer):
+    """SGD with classical (heavy-ball) momentum."""
+
+    def __init__(
+        self,
+        parameters: List[Parameter],
+        lr: float,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {
+            id(p): np.zeros_like(p.data) for p in self.parameters
+        }
+
+    def step(self, lr: Optional[float] = None) -> None:
+        eta = self.lr if lr is None else lr
+        for p in self.parameters:
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            v = self._velocity[id(p)]
+            v *= self.momentum
+            v -= eta * grad
+            p.data += v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: List[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._t = 0
+        self._m: Dict[int, np.ndarray] = {
+            id(p): np.zeros_like(p.data) for p in self.parameters
+        }
+        self._v: Dict[int, np.ndarray] = {
+            id(p): np.zeros_like(p.data) for p in self.parameters
+        }
+
+    def step(self, lr: Optional[float] = None) -> None:
+        eta = self.lr if lr is None else lr
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p in self.parameters:
+            m = self._m[id(p)]
+            v = self._v[id(p)]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * p.grad**2
+            m_hat = m / bc1
+            v_hat = v / bc2
+            p.data -= eta * m_hat / (np.sqrt(v_hat) + self.eps)

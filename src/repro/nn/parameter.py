@@ -1,0 +1,35 @@
+"""Trainable parameter container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A named trainable array together with its accumulated gradient.
+
+    ``data`` and ``grad`` always share shape and dtype.  Layers
+    accumulate into ``grad`` during ``backward``; optimizers read it and
+    callers reset it via :meth:`zero_grad`.
+    """
+
+    __slots__ = ("name", "data", "grad")
+
+    def __init__(self, data: np.ndarray, name: str = "param") -> None:
+        self.name = name
+        self.data = np.asarray(data, dtype=float)
+        self.grad = np.zeros_like(self.data)
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"

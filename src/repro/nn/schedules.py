@@ -1,0 +1,68 @@
+"""Learning-rate schedules.
+
+The paper sets eta_t = eta_0 / sqrt(t) for the vanilla-FL experiments
+(Sec. V-A) and a constant eta = 1e-4 for the MOCHA experiments
+(Sec. V-B); both live here.  Iteration indices are 1-based, matching
+the paper's notation.
+"""
+
+from __future__ import annotations
+
+
+class LRSchedule:
+    """Maps a 1-based iteration index to a learning rate."""
+
+    def __call__(self, t: int) -> float:
+        if t < 1:
+            raise ValueError(f"iteration index is 1-based, got {t}")
+        return self.value(t)
+
+    def value(self, t: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    """eta_t = eta_0."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = lr
+
+    def value(self, t: int) -> float:
+        return self.lr
+
+    def __repr__(self) -> str:
+        return f"ConstantLR({self.lr})"
+
+
+class InverseSqrtLR(LRSchedule):
+    """eta_t = eta_0 / sqrt(t) -- the schedule Theorem 1's remark 2 uses."""
+
+    def __init__(self, lr0: float) -> None:
+        if lr0 <= 0:
+            raise ValueError(f"lr0 must be positive, got {lr0}")
+        self.lr0 = lr0
+
+    def value(self, t: int) -> float:
+        return self.lr0 / (t**0.5)
+
+    def __repr__(self) -> str:
+        return f"InverseSqrtLR({self.lr0})"
+
+
+class StepLR(LRSchedule):
+    """eta multiplied by ``gamma`` every ``step_size`` iterations."""
+
+    def __init__(self, lr0: float, step_size: int, gamma: float = 0.5) -> None:
+        if lr0 <= 0 or step_size < 1 or not 0 < gamma <= 1:
+            raise ValueError("invalid StepLR configuration")
+        self.lr0 = lr0
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def value(self, t: int) -> float:
+        return self.lr0 * self.gamma ** ((t - 1) // self.step_size)
+
+    def __repr__(self) -> str:
+        return f"StepLR({self.lr0}, step_size={self.step_size}, gamma={self.gamma})"

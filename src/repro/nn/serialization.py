@@ -1,0 +1,66 @@
+"""Flat-vector views of model parameters.
+
+The federated engine works exclusively on flattened parameter vectors:
+a client *update* is ``flatten(local) - flatten(global)`` and the server
+applies aggregated updates by assigning a flat vector back.  Byte
+accounting for the communication-footprint experiments also lives here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+#: Bytes per parameter on the wire.  The paper's prototype ships float32
+#: weight matrices; training happens in float64 locally but transfers
+#: are accounted at 4 bytes/parameter.
+WIRE_BYTES_PER_PARAM = 4
+
+#: Size of the tiny "I skipped this round" status message a CMFL/Gaia
+#: client sends instead of a full update (Sec. V-C: "negligible when
+#: compared with an entire local update").
+STATUS_MESSAGE_BYTES = 64
+
+
+def parameter_count(module: Module) -> int:
+    """Total number of scalar parameters in ``module``."""
+    return sum(p.size for p in module.parameters())
+
+
+def flatten_parameters(module: Module) -> np.ndarray:
+    """Concatenate all parameters into one 1-D float vector (a copy)."""
+    params = module.parameters()
+    if not params:
+        raise ValueError("module has no parameters to flatten")
+    return np.concatenate([p.data.reshape(-1) for p in params])
+
+
+def assign_flat_parameters(module: Module, flat: np.ndarray) -> None:
+    """Write a flat vector produced by :func:`flatten_parameters` back."""
+    flat = np.asarray(flat, dtype=float)
+    expected = parameter_count(module)
+    if flat.ndim != 1 or flat.size != expected:
+        raise ValueError(
+            f"expected a flat vector of length {expected}, got shape {flat.shape}"
+        )
+    offset = 0
+    for p in module.parameters():
+        chunk = flat[offset : offset + p.size]
+        p.data[...] = chunk.reshape(p.data.shape)
+        offset += p.size
+
+
+def flatten_gradients(module: Module) -> np.ndarray:
+    """Concatenate all parameter gradients into one 1-D vector (a copy)."""
+    params = module.parameters()
+    if not params:
+        raise ValueError("module has no parameters")
+    return np.concatenate([p.grad.reshape(-1) for p in params])
+
+
+def update_nbytes(n_params: int) -> int:
+    """Wire size of a full update carrying ``n_params`` parameters."""
+    if n_params < 0:
+        raise ValueError("n_params must be >= 0")
+    return n_params * WIRE_BYTES_PER_PARAM

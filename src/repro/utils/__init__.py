@@ -1,0 +1,13 @@
+"""Small shared utilities: seeded RNG plumbing, tables, smoothing."""
+
+from repro.utils.rng import child_rngs, ensure_rng, spawn_seed
+from repro.utils.tables import format_table
+from repro.utils.smoothing import moving_average
+
+__all__ = [
+    "child_rngs",
+    "ensure_rng",
+    "spawn_seed",
+    "format_table",
+    "moving_average",
+]

@@ -1,0 +1,69 @@
+"""Terminal line plots for experiment curves.
+
+Matplotlib is not a dependency of this library, so the accuracy-vs-
+rounds curves of Figs. 4/5/7 render as character rasters: good enough
+to see crossovers and stalls directly in a benchmark report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series on one character grid.
+
+    Each series gets its own marker; a legend follows the plot.  Axes
+    are linear and shared across series.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 4:
+        raise ValueError("plot too small to be legible")
+    cleaned = {}
+    for name, (xs, ys) in series.items():
+        xs = np.asarray(xs, dtype=float).reshape(-1)
+        ys = np.asarray(ys, dtype=float).reshape(-1)
+        if xs.size != ys.size or xs.size == 0:
+            raise ValueError(f"series {name!r} is empty or misaligned")
+        cleaned[name] = (xs, ys)
+
+    all_x = np.concatenate([xs for xs, _ in cleaned.values()])
+    all_y = np.concatenate([ys for _, ys in cleaned.values()])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for k, (name, (xs, ys)) in enumerate(cleaned.items()):
+        marker = _MARKERS[k % len(_MARKERS)]
+        cols = np.clip(((xs - x_lo) / x_span * (width - 1)).round(), 0,
+                       width - 1).astype(int)
+        rows = np.clip(((ys - y_lo) / y_span * (height - 1)).round(), 0,
+                       height - 1).astype(int)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = marker
+
+    lines = [f"{y_hi:>10.3g} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_lo:>10.3g} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + f"{x_lo:<.3g}".ljust(width - 8) + f"{x_hi:>.3g}")
+    lines.append(" " * 12 + f"({x_label} vs {y_label})")
+    legend = "   ".join(
+        f"{_MARKERS[k % len(_MARKERS)]} {name}"
+        for k, name in enumerate(cleaned)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the library takes an explicit
+``numpy.random.Generator``.  Experiments derive independent child
+generators from a single root seed so that runs are reproducible yet
+components do not share streams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a ``numpy.random.Generator``.
+
+    Accepts ``None`` (fresh nondeterministic generator), an integer seed,
+    or an existing generator (returned unchanged).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
+
+
+def child_rngs(rng: RngLike, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Children are spawned through ``SeedSequence`` so their streams do not
+    overlap regardless of how many draws each consumer makes.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    parent = ensure_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=2)
+    sequence = np.random.SeedSequence(entropy=[int(s) for s in seeds])
+    return [np.random.default_rng(child) for child in sequence.spawn(n)]
+
+
+def spawn_seed(rng: RngLike) -> int:
+    """Draw a fresh 63-bit seed from ``rng`` (for handing to subprocesses)."""
+    return int(ensure_rng(rng).integers(0, 2**63 - 1))

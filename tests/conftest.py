@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_classification(rng):
+    """A linearly-structured 3-class dataset small enough for gradchecks."""
+    n, d = 30, 6
+    x = rng.normal(size=(n, d))
+    w = rng.normal(size=(d, 3))
+    y = np.argmax(x @ w + 0.1 * rng.normal(size=(n, 3)), axis=1)
+    return Dataset(x, y.astype(np.int64))
+
+
+@pytest.fixture
+def tiny_binary(rng):
+    n, d = 40, 5
+    x = rng.normal(size=(n, d))
+    w = rng.normal(size=d)
+    y = (x @ w > 0).astype(np.int64)
+    return Dataset(x, y)

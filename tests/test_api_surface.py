@@ -1,0 +1,71 @@
+"""Small API-surface contracts: reprs, exports, package wiring."""
+
+import numpy as np
+
+import repro
+from repro.baselines import GaiaPartialPolicy, GaiaPolicy, VanillaPolicy
+from repro.fl import (
+    GaussianMechanism,
+    SecureAggregator,
+    UniformSampler,
+)
+from repro.nn import Dense, Sequential
+from repro.nn.parameter import Parameter
+
+
+def test_top_level_exports():
+    assert repro.__version__
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_policy_names_are_distinct():
+    from repro.core.policy import CMFLPolicy
+    from repro.core.thresholds import ConstantThreshold
+
+    names = {
+        VanillaPolicy().name,
+        GaiaPolicy(ConstantThreshold(0.1)).name,
+        GaiaPartialPolicy(ConstantThreshold(0.1)).name,
+        CMFLPolicy(ConstantThreshold(0.1)).name,
+    }
+    assert names == {"vanilla", "gaia", "gaia_partial", "cmfl"}
+
+
+def test_parameter_repr_and_shape():
+    p = Parameter(np.zeros((2, 3)), name="w")
+    assert "w" in repr(p)
+    assert p.shape == (2, 3) and p.size == 6
+
+
+def test_module_reprs():
+    model = Sequential([Dense(2, 3, rng=0)])
+    assert "Dense" in repr(model)
+    assert "parameters=9" in repr(model.layers[0])
+
+
+def test_schedule_reprs():
+    from repro.core.thresholds import (
+        ConstantThreshold,
+        InverseSqrtThreshold,
+        LinearDecayThreshold,
+    )
+    from repro.nn.schedules import ConstantLR, InverseSqrtLR, StepLR
+
+    for obj in (ConstantThreshold(0.5), InverseSqrtThreshold(0.5),
+                LinearDecayThreshold(0.5, 0.4, 10),
+                ConstantLR(0.1), InverseSqrtLR(0.1), StepLR(0.1, 5)):
+        assert type(obj).__name__ in repr(obj)
+
+
+def test_fl_package_exports_extensions():
+    assert UniformSampler(0.5).fraction == 0.5
+    assert SecureAggregator([0, 1], 4, 0).n_params == 4
+    assert GaussianMechanism(1.0, 1.0).clip_norm == 1.0
+
+
+def test_dataset_repr():
+    from repro.data.dataset import Dataset
+
+    ds = Dataset(np.zeros((4, 2)), np.zeros(4))
+    assert "n=4" in repr(ds)

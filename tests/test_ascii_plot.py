@@ -1,0 +1,53 @@
+"""The terminal curve renderer."""
+
+import numpy as np
+import pytest
+
+from repro.utils.ascii_plot import ascii_plot
+
+
+def test_renders_all_series_markers():
+    out = ascii_plot(
+        {"a": ([0, 1, 2], [0, 1, 2]), "b": ([0, 1, 2], [2, 1, 0])},
+        width=20, height=8,
+    )
+    assert "o" in out and "x" in out
+    assert "o a" in out and "x b" in out
+
+
+def test_extremes_on_grid_edges():
+    out = ascii_plot({"s": ([0, 10], [0.0, 1.0])}, width=20, height=8)
+    lines = out.splitlines()
+    assert lines[0].lstrip().startswith("1")  # y max label
+    assert "0" in lines[-3]  # y min label row
+
+
+def test_constant_series_does_not_divide_by_zero():
+    out = ascii_plot({"flat": ([1, 2, 3], [5.0, 5.0, 5.0])}, width=16, height=6)
+    assert "o" in out
+
+
+def test_empty_series_rejected():
+    with pytest.raises(ValueError):
+        ascii_plot({"s": ([], [])})
+    with pytest.raises(ValueError):
+        ascii_plot({})
+
+
+def test_misaligned_rejected():
+    with pytest.raises(ValueError):
+        ascii_plot({"s": ([1, 2], [1.0])})
+
+
+def test_tiny_grid_rejected():
+    with pytest.raises(ValueError):
+        ascii_plot({"s": ([1], [1.0])}, width=4, height=2)
+
+
+def test_large_random_series_stays_in_bounds():
+    rng = np.random.default_rng(0)
+    out = ascii_plot(
+        {"r": (np.arange(200), rng.normal(size=200))}, width=60, height=14
+    )
+    lines = out.splitlines()
+    assert all(len(line) <= 80 for line in lines)

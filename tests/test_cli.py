@@ -1,0 +1,32 @@
+"""The ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_prints_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4_table1" in out and "fig7_ec2" in out
+
+
+def test_help_is_list(capsys):
+    assert main(["--help"]) == 0
+    assert "usage" in capsys.readouterr().out
+
+
+def test_unknown_experiment_errors(capsys):
+    assert main(["fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_runs_one_experiment_at_test_scale(capsys):
+    assert main(["fig2_measures", "test"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 2" in out
+
+
+def test_bad_scale_raises():
+    with pytest.raises(ValueError):
+        main(["fig2_measures", "enormous"])

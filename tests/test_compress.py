@@ -1,0 +1,181 @@
+"""Update compression codecs and the policy/codec composition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.vanilla import VanillaPolicy
+from repro.compress.codecs import (
+    CODEC_HEADER_BYTES,
+    IdentityCodec,
+    QuantizationCodec,
+    RandomSparsifier,
+    TopKSparsifier,
+)
+from repro.compress.pipeline import CompressionPipeline
+from repro.core.policy import CMFLPolicy, PolicyContext
+from repro.core.thresholds import ConstantThreshold
+
+
+def ctx(n=8, iteration=2):
+    return PolicyContext(
+        iteration=iteration,
+        global_params=np.ones(n),
+        global_update_estimate=np.ones(n),
+    )
+
+
+class TestIdentity:
+    def test_lossless(self, rng):
+        codec = IdentityCodec()
+        vec = rng.normal(size=32)
+        out = codec.decode(codec.encode(vec))
+        np.testing.assert_array_equal(out, vec)
+
+    def test_wire_size(self):
+        c = IdentityCodec().encode(np.ones(100))
+        assert c.wire_bytes == CODEC_HEADER_BYTES + 400
+
+
+class TestQuantization:
+    def test_round_trip_error_bounded_by_step(self, rng):
+        vec = rng.normal(size=200)
+        step = (vec.max() - vec.min()) / 255
+        deterministic = QuantizationCodec(bits=8, stochastic=False)
+        out = deterministic.decode(deterministic.encode(vec))
+        assert np.max(np.abs(out - vec)) <= step / 2 + 1e-12
+        stochastic = QuantizationCodec(bits=8, rng=0)
+        out = stochastic.decode(stochastic.encode(vec))
+        assert np.max(np.abs(out - vec)) <= step + 1e-12
+
+    def test_stochastic_rounding_is_unbiased(self):
+        vec = np.full(4000, 0.3)
+        vec[0], vec[1] = 0.0, 1.0  # pin the range
+        codec = QuantizationCodec(bits=4, rng=1)
+        out = codec.decode(codec.encode(vec))
+        assert abs(out[2:].mean() - 0.3) < 0.005
+
+    def test_more_bits_less_error(self, rng):
+        vec = rng.normal(size=500)
+        errors = []
+        for bits in (2, 4, 8):
+            codec = QuantizationCodec(bits=bits, stochastic=False)
+            out = codec.decode(codec.encode(vec))
+            errors.append(np.linalg.norm(out - vec))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_constant_vector(self):
+        codec = QuantizationCodec(bits=4)
+        vec = np.full(10, 3.5)
+        out = codec.decode(codec.encode(vec))
+        np.testing.assert_allclose(out, vec)
+
+    def test_wire_smaller_than_raw(self):
+        compressed = QuantizationCodec(bits=8).encode(np.ones(1000))
+        assert compressed.wire_bytes < 4 * 1000
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            QuantizationCodec(bits=0)
+
+
+class TestTopK:
+    def test_keeps_largest_magnitudes(self):
+        codec = TopKSparsifier(fraction=0.25)
+        vec = np.array([0.1, -5.0, 0.2, 4.0, 0.0, 0.3, -0.1, 1.0])
+        out = codec.decode(codec.encode(vec))
+        assert out[1] == -5.0 and out[3] == 4.0
+        assert np.count_nonzero(out) == 2
+
+    def test_fraction_one_is_lossless(self, rng):
+        codec = TopKSparsifier(fraction=1.0)
+        vec = rng.normal(size=16)
+        np.testing.assert_allclose(codec.decode(codec.encode(vec)), vec)
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 2**31 - 1), st.floats(0.05, 1.0))
+    def test_decode_preserves_kept_coordinates(self, seed, fraction):
+        vec = np.random.default_rng(seed).normal(size=40)
+        codec = TopKSparsifier(fraction=fraction)
+        compressed = codec.encode(vec)
+        out = codec.decode(compressed)
+        np.testing.assert_allclose(out[compressed.indices],
+                                   vec[compressed.indices])
+
+
+class TestRandomSparse:
+    def test_unbiased_in_expectation(self):
+        vec = np.ones(400)
+        sums = []
+        for seed in range(30):
+            codec = RandomSparsifier(fraction=0.25, rng=seed)
+            sums.append(codec.decode(codec.encode(vec)).sum())
+        assert np.mean(sums) == pytest.approx(vec.sum(), rel=0.05)
+
+    def test_sparsity(self, rng):
+        codec = RandomSparsifier(fraction=0.1, rng=0)
+        out = codec.decode(codec.encode(rng.normal(size=100)))
+        assert np.count_nonzero(out) == 10
+
+
+class TestPipeline:
+    def test_composes_with_vanilla(self, rng):
+        pipeline = CompressionPipeline(VanillaPolicy(), QuantizationCodec(8))
+        update = rng.normal(size=64)
+        original = update.copy()
+        decision = pipeline.decide(update, ctx(64))
+        assert decision.upload
+        # update mutated to the decoded (lossy) version
+        assert not np.array_equal(update, original)
+        assert pipeline.stats.compression_ratio > 1.5
+        assert pipeline.stats.mean_relative_error < 0.05
+
+    def test_filtered_updates_cost_only_status(self):
+        pipeline = CompressionPipeline(
+            CMFLPolicy(ConstantThreshold(0.9)), QuantizationCodec(8)
+        )
+        update = -np.ones(16)  # anti-aligned with the feedback
+        decision = pipeline.decide(update, ctx(16))
+        assert not decision.upload
+        assert pipeline.stats.uploaded_bytes == 0
+        assert pipeline.stats.status_bytes > 0
+
+    def test_name_combines(self):
+        pipeline = CompressionPipeline(VanillaPolicy(), TopKSparsifier(0.1))
+        assert pipeline.name == "vanilla+topk"
+
+    def test_in_full_federation(self):
+        """CMFL + quantization runs end-to-end and beats raw bytes."""
+        from repro.data.dataset import Dataset
+        from repro.data.partition import iid_partition
+        from repro.fl.client import FLClient
+        from repro.fl.config import FLConfig
+        from repro.fl.trainer import FederatedTrainer
+        from repro.fl.workspace import ModelWorkspace
+        from repro.models.linear import make_logistic_regression
+        from repro.nn.losses import SigmoidBinaryCrossEntropy
+        from repro.nn.optimizers import SGD
+        from repro.nn.schedules import ConstantLR
+        from repro.utils.rng import child_rngs
+
+        rngs = child_rngs(3, 8)
+        x = rngs[0].normal(size=(80, 50))
+        y = (x @ rngs[1].normal(size=50) > 0).astype(np.int64)
+        data = Dataset(x, y)
+        model = make_logistic_regression(50, rng=rngs[2])
+        workspace = ModelWorkspace(model, SigmoidBinaryCrossEntropy(),
+                                   SGD(model.parameters(), 0.5))
+        clients = [FLClient(i, data.subset(p), rng=rngs[3 + i])
+                   for i, p in enumerate(iid_partition(80, 4, rng=0))]
+        pipeline = CompressionPipeline(
+            CMFLPolicy(ConstantThreshold(0.5)), QuantizationCodec(8)
+        )
+        trainer = FederatedTrainer(
+            workspace, clients, pipeline,
+            FLConfig(rounds=5, local_epochs=1, batch_size=10,
+                     lr=ConstantLR(0.5)),
+        )
+        trainer.run()
+        assert pipeline.stats.compression_ratio > 1.0
+        assert np.all(np.isfinite(trainer.server.global_params))

@@ -1,0 +1,166 @@
+"""Thresholds, feedback estimator, and the CMFL/baseline policies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gaia import GaiaPolicy, gaia_significance
+from repro.baselines.vanilla import VanillaPolicy
+from repro.core.feedback import GlobalUpdateEstimator, normalized_update_difference
+from repro.core.policy import CMFLPolicy, PolicyContext
+from repro.core.thresholds import (
+    ConstantThreshold,
+    InverseSqrtThreshold,
+    LinearDecayThreshold,
+)
+
+
+def make_ctx(iteration=2, n=4, feedback=None, params=None):
+    return PolicyContext(
+        iteration=iteration,
+        global_params=np.ones(n) if params is None else params,
+        global_update_estimate=(
+            np.ones(n) if feedback is None else feedback
+        ),
+    )
+
+
+class TestThresholds:
+    def test_constant(self):
+        assert ConstantThreshold(0.8)(100) == 0.8
+
+    def test_inverse_sqrt_decays(self):
+        sched = InverseSqrtThreshold(0.8)
+        assert sched(1) == 0.8
+        assert sched(4) == pytest.approx(0.4)
+        assert sched(16) == pytest.approx(0.2)
+
+    def test_linear_decay(self):
+        sched = LinearDecayThreshold(0.6, 0.4, horizon=5)
+        assert sched(1) == pytest.approx(0.6)
+        assert sched(3) == pytest.approx(0.5)
+        assert sched(5) == pytest.approx(0.4)
+        assert sched(50) == pytest.approx(0.4)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            ConstantThreshold(-0.1)
+        with pytest.raises(ValueError):
+            LinearDecayThreshold(0.4, 0.6, 10)  # final > initial
+        with pytest.raises(ValueError):
+            InverseSqrtThreshold(0.5)(0)  # 1-based
+
+
+class TestFeedbackEstimator:
+    def test_estimate_zero_before_observations(self):
+        est = GlobalUpdateEstimator(3)
+        np.testing.assert_array_equal(est.estimate, np.zeros(3))
+
+    def test_estimate_is_previous_update(self):
+        est = GlobalUpdateEstimator(2)
+        est.observe(np.array([1.0, -1.0]))
+        np.testing.assert_array_equal(est.estimate, [1.0, -1.0])
+        est.observe(np.array([2.0, 2.0]))
+        np.testing.assert_array_equal(est.estimate, [2.0, 2.0])
+
+    def test_staleness(self):
+        est = GlobalUpdateEstimator(1, staleness=2)
+        est.observe(np.array([1.0]))
+        est.observe(np.array([2.0]))
+        est.observe(np.array([3.0]))
+        np.testing.assert_array_equal(est.estimate, [2.0])
+
+    def test_delta_updates_recorded(self):
+        est = GlobalUpdateEstimator(2)
+        est.observe(np.array([1.0, 0.0]))
+        est.observe(np.array([1.0, 1.0]))
+        assert len(est.delta_updates) == 1
+        assert est.delta_updates[0] == pytest.approx(1.0)
+
+    def test_wrong_size_rejected(self):
+        est = GlobalUpdateEstimator(2)
+        with pytest.raises(ValueError):
+            est.observe(np.zeros(3))
+
+    def test_normalized_difference(self):
+        assert normalized_update_difference(
+            np.array([3.0, 4.0]), np.array([3.0, 4.0])
+        ) == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            normalized_update_difference(np.zeros(2), np.ones(2))
+
+
+class TestCMFLPolicy:
+    def test_uploads_when_aligned(self):
+        policy = CMFLPolicy(ConstantThreshold(0.6))
+        d = policy.decide(np.ones(4), make_ctx())
+        assert d.upload and d.score == 1.0
+
+    def test_filters_when_misaligned(self):
+        policy = CMFLPolicy(ConstantThreshold(0.6))
+        d = policy.decide(-np.ones(4), make_ctx())
+        assert not d.upload and d.score == 0.0
+
+    def test_first_round_always_uploads(self):
+        """With zero feedback the relevance is defined as 1."""
+        policy = CMFLPolicy(ConstantThreshold(0.99))
+        d = policy.decide(-np.ones(4), make_ctx(feedback=np.zeros(4)))
+        assert d.upload and d.score == 1.0
+
+    def test_threshold_schedule_applied(self):
+        policy = CMFLPolicy(InverseSqrtThreshold(0.8))
+        half_aligned = np.array([1.0, 1.0, -1.0, -1.0])
+        # t=1: threshold 0.8 > 0.5 -> filtered
+        assert not policy.decide(half_aligned, make_ctx(iteration=1)).upload
+        # t=4: threshold 0.4 < 0.5 -> uploaded
+        assert policy.decide(half_aligned, make_ctx(iteration=4)).upload
+
+    def test_threshold_capped_at_one(self):
+        policy = CMFLPolicy(ConstantThreshold(5.0))
+        d = policy.decide(np.ones(4), make_ctx())
+        assert d.threshold == 1.0
+        assert d.upload  # fully aligned meets the capped threshold
+
+
+class TestVanillaPolicy:
+    def test_always_uploads(self):
+        policy = VanillaPolicy()
+        for u in (np.zeros(3), -np.ones(3)):
+            assert policy.decide(u, make_ctx()).upload
+
+
+class TestGaia:
+    def test_significance_norm_ratio(self):
+        sig = gaia_significance(np.array([3.0, 4.0]), np.array([5.0, 0.0]))
+        assert sig == pytest.approx(1.0)
+
+    def test_significance_scales_with_update(self):
+        """Magnitude dependence: the exact weakness the paper exploits."""
+        u = np.array([1.0, 1.0])
+        x = np.array([2.0, 2.0])
+        assert gaia_significance(2 * u, x) == pytest.approx(
+            2 * gaia_significance(u, x)
+        )
+
+    def test_policy_thresholding(self):
+        policy = GaiaPolicy(ConstantThreshold(0.5))
+        ctx = make_ctx(params=np.array([1.0, 1.0]))
+        assert policy.decide(np.array([1.0, 1.0]), ctx).upload
+        assert not policy.decide(np.array([0.1, 0.1]), ctx).upload
+
+    def test_per_parameter_mode(self):
+        policy = GaiaPolicy(
+            ConstantThreshold(0.5), mode="per_parameter",
+            min_significant_fraction=0.5,
+        )
+        ctx = make_ctx(params=np.array([1.0, 1.0]))
+        # one of two parameters individually significant -> fraction 0.5
+        d = policy.decide(np.array([1.0, 0.0]), ctx)
+        assert d.upload and d.score == pytest.approx(0.5)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            GaiaPolicy(ConstantThreshold(0.5), mode="bogus")
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            gaia_significance(np.ones(2), np.ones(3))

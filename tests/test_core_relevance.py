@@ -1,0 +1,126 @@
+"""The CMFL relevance measure (Eq. 9): unit and property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.relevance import (
+    relevance,
+    relevance_per_segment,
+    sign_agreement_counts,
+)
+
+vectors = arrays(
+    np.float64,
+    st.integers(1, 64),
+    elements=st.floats(-100, 100, allow_nan=False),
+)
+
+
+class TestRelevanceUnit:
+    def test_identical_vectors_fully_relevant(self):
+        u = np.array([1.0, -2.0, 3.0])
+        assert relevance(u, u) == 1.0
+
+    def test_opposite_vectors_irrelevant(self):
+        u = np.array([1.0, -2.0, 3.0])
+        assert relevance(u, -u) == 0.0
+
+    def test_half_agreement(self):
+        u = np.array([1.0, 1.0, -1.0, -1.0])
+        g = np.array([1.0, -1.0, -1.0, 1.0])
+        assert relevance(u, g) == 0.5
+
+    def test_zero_feedback_defined_as_one(self):
+        """Round 1 has no global tendency: everything is relevant."""
+        assert relevance(np.array([1.0, -1.0]), np.zeros(2)) == 1.0
+
+    def test_zero_entries_count_when_both_zero(self):
+        u = np.array([0.0, 1.0])
+        g = np.array([0.0, 1.0])
+        assert relevance(u, g) == 1.0
+
+    def test_zero_vs_nonzero_disagrees(self):
+        u = np.array([0.0, 1.0])
+        g = np.array([2.0, 1.0])
+        assert relevance(u, g) == 0.5
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            relevance(np.ones(3), np.ones(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            sign_agreement_counts(np.array([]), np.array([]))
+
+    def test_counts(self):
+        agree, total = sign_agreement_counts(
+            np.array([1.0, -1.0, 1.0]), np.array([1.0, 1.0, 1.0])
+        )
+        assert (agree, total) == (2, 3)
+
+
+class TestRelevanceProperties:
+    @given(vectors)
+    def test_self_relevance_is_one(self, u):
+        assert relevance(u, u) == 1.0
+
+    @settings(max_examples=50)
+    @given(vectors, st.integers(0, 2**31 - 1))
+    def test_bounded(self, u, seed):
+        g = np.random.default_rng(seed).normal(size=u.shape)
+        assert 0.0 <= relevance(u, g) <= 1.0
+
+    @settings(max_examples=50)
+    @given(vectors, st.integers(0, 2**31 - 1))
+    def test_symmetric_when_feedback_nonzero(self, u, seed):
+        g = np.random.default_rng(seed).normal(size=u.shape)
+        # both nonzero with probability 1 -> Eq. (9) is symmetric
+        if np.any(g) and np.any(u):
+            assert relevance(u, g) == relevance(g, u)
+
+    @settings(max_examples=50)
+    @given(vectors, st.integers(0, 2**31 - 1),
+           st.floats(0.1, 100, allow_nan=False))
+    def test_scale_invariant(self, u, seed, scale):
+        """Relevance depends on signs only -- the property that makes it
+        robust to learning rates and dataset sizes (unlike Gaia)."""
+        g = np.random.default_rng(seed).normal(size=u.shape)
+        assert relevance(u, g) == relevance(u * scale, g)
+        if np.any(g):
+            assert relevance(u, g) == relevance(u, g * scale)
+
+    @settings(max_examples=50)
+    @given(st.integers(2, 64), st.integers(0, 2**31 - 1))
+    def test_flip_one_sign_changes_by_one_over_n(self, n, seed):
+        gen = np.random.default_rng(seed)
+        u = gen.normal(size=n)
+        g = gen.normal(size=n)
+        base = relevance(u, g)
+        flipped = u.copy()
+        flipped[0] = -flipped[0]
+        assert abs(relevance(flipped, g) - base) == pytest.approx(1.0 / n)
+
+
+class TestPerSegment:
+    def test_segments_computed_independently(self):
+        u = np.array([1.0, 1.0, -1.0, -1.0])
+        g = np.array([1.0, 1.0, 1.0, 1.0])
+        out = relevance_per_segment(u, g, [2, 4])
+        np.testing.assert_array_equal(out, [1.0, 0.0])
+
+    def test_boundaries_must_cover(self):
+        with pytest.raises(ValueError):
+            relevance_per_segment(np.ones(4), np.ones(4), [2])
+
+    def test_boundaries_must_increase(self):
+        with pytest.raises(ValueError):
+            relevance_per_segment(np.ones(4), np.ones(4), [2, 2, 4])
+
+    def test_mean_of_segments_matches_whole_for_equal_sizes(self):
+        u = np.array([1.0, -1.0, 1.0, -1.0])
+        g = np.array([1.0, 1.0, 1.0, 1.0])
+        segs = relevance_per_segment(u, g, [2, 4])
+        assert segs.mean() == relevance(u, g)

@@ -1,0 +1,312 @@
+"""The federated engine: accounting, history, aggregation, server, trainer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.vanilla import VanillaPolicy
+from repro.core.policy import CMFLPolicy
+from repro.core.thresholds import ConstantThreshold
+from repro.data.dataset import Dataset
+from repro.data.partition import iid_partition
+from repro.fl.accounting import CommunicationLedger
+from repro.fl.aggregation import mean_aggregate, weighted_mean_aggregate
+from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.config import FLConfig
+from repro.fl.history import RoundRecord, RunHistory
+from repro.fl.server import FLServer
+from repro.fl.trainer import FederatedTrainer
+from repro.fl.workspace import ModelWorkspace
+from repro.models.linear import make_logistic_regression
+from repro.nn.losses import SigmoidBinaryCrossEntropy
+from repro.nn.metrics import binary_accuracy
+from repro.nn.optimizers import SGD
+from repro.nn.schedules import ConstantLR
+from repro.nn.serialization import STATUS_MESSAGE_BYTES, update_nbytes
+from repro.utils.rng import child_rngs
+
+
+def _make_update(cid, vec, n=10):
+    return ClientUpdate(client_id=cid, update=np.asarray(vec, dtype=float),
+                        n_samples=n, train_loss=0.1)
+
+
+class TestAggregation:
+    def test_mean(self):
+        agg = mean_aggregate([_make_update(0, [1.0, 0.0]),
+                              _make_update(1, [3.0, 2.0])])
+        np.testing.assert_allclose(agg, [2.0, 1.0])
+
+    def test_weighted_mean(self):
+        agg = weighted_mean_aggregate(
+            [_make_update(0, [0.0], n=1), _make_update(1, [4.0], n=3)]
+        )
+        np.testing.assert_allclose(agg, [3.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_aggregate([])
+
+
+class TestLedger:
+    def test_round_accounting(self):
+        ledger = CommunicationLedger(n_params=100)
+        ledger.record_round([0, 1, 2], [3, 4])
+        assert ledger.accumulated_rounds == 3
+        assert ledger.uploaded_bytes == 3 * update_nbytes(100)
+        assert ledger.status_bytes == 2 * STATUS_MESSAGE_BYTES
+        assert ledger.rounds_per_iteration == [3]
+
+    def test_elimination_counts(self):
+        ledger = CommunicationLedger(n_params=10)
+        ledger.record_round([0], [1, 2])
+        ledger.record_round([0, 1], [2])
+        assert ledger.elimination_counts(3) == [0, 1, 2]
+
+    def test_phi_matches_paper_definition(self):
+        """Phi = sum_t |S_t| (Eq. 4)."""
+        ledger = CommunicationLedger(n_params=10)
+        sizes = [3, 0, 5, 2]
+        for r in sizes:
+            ledger.record_round(list(range(r)), [])
+        assert ledger.accumulated_rounds == sum(sizes)
+
+
+class TestHistory:
+    def _record(self, t, metric=None):
+        return RoundRecord(
+            iteration=t, n_clients=4, n_uploaded=2,
+            accumulated_rounds=2 * t, total_bytes=100 * t, lr=0.1,
+            mean_train_loss=1.0, mean_score=0.5, threshold=0.5,
+            test_metric=metric,
+        )
+
+    def test_increasing_iterations_enforced(self):
+        history = RunHistory("x")
+        history.append(self._record(1))
+        with pytest.raises(ValueError):
+            history.append(self._record(1))
+
+    def test_evaluated_points_filters_none(self):
+        history = RunHistory("x")
+        history.append(self._record(1))
+        history.append(self._record(2, metric=0.5))
+        its, comm, acc = history.evaluated_points()
+        assert its.tolist() == [2.0]
+        assert acc.tolist() == [0.5]
+
+    def test_upload_fraction(self):
+        assert self._record(1).upload_fraction == 0.5
+
+    def test_final_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            RunHistory("x").final
+
+
+class TestServer:
+    def test_apply_round_moves_model(self):
+        server = FLServer(np.zeros(2))
+        agg = server.apply_round([_make_update(0, [2.0, 0.0]),
+                                  _make_update(1, [0.0, 2.0])])
+        np.testing.assert_allclose(agg, [1.0, 1.0])
+        np.testing.assert_allclose(server.global_params, [1.0, 1.0])
+        np.testing.assert_allclose(server.feedback, [1.0, 1.0])
+
+    def test_empty_round_is_noop(self):
+        server = FLServer(np.ones(2))
+        assert server.apply_round([]) is None
+        np.testing.assert_allclose(server.global_params, [1.0, 1.0])
+
+    def test_shape_mismatch_rejected(self):
+        server = FLServer(np.zeros(2))
+        with pytest.raises(ValueError):
+            server.apply_round([_make_update(0, [1.0, 2.0, 3.0])])
+
+    def test_weighted_server(self):
+        server = FLServer(np.zeros(1), weighted=True)
+        server.apply_round([_make_update(0, [0.0], n=1),
+                            _make_update(1, [4.0], n=3)])
+        np.testing.assert_allclose(server.global_params, [3.0])
+
+
+class _RejectAfterFirstRound(CMFLPolicy):
+    """Rejects every update after round 1 (forces empty rounds)."""
+
+    def __init__(self):
+        super().__init__(ConstantThreshold(0.0))
+
+    def decide(self, update, ctx):
+        d = super().decide(update, ctx)
+        if ctx.iteration == 1:
+            return d
+        return type(d)(upload=False, score=d.score, threshold=1.0)
+
+
+def _binary_federation(policy, n_clients=4, rounds=6, seed=0, **cfg_kw):
+    rngs = child_rngs(seed, n_clients + 3)
+    w_true = rngs[0].normal(size=5)
+    x = rngs[1].normal(size=(80, 5))
+    y = (x @ w_true > 0).astype(np.int64)
+    data = Dataset(x, y)
+    model = make_logistic_regression(5, rng=rngs[2])
+    workspace = ModelWorkspace(
+        model, SigmoidBinaryCrossEntropy(), SGD(model.parameters(), 0.5),
+        metric=binary_accuracy,
+    )
+    parts = iid_partition(len(data), n_clients, rng=seed)
+    clients = [FLClient(i, data.subset(p), rng=rngs[3 + i])
+               for i, p in enumerate(parts)]
+    config = FLConfig(rounds=rounds, local_epochs=1, batch_size=10,
+                      lr=ConstantLR(0.5), eval_every=1, **cfg_kw)
+    return FederatedTrainer(
+        workspace, clients, policy, config,
+        eval_fn=lambda w: w.evaluate(data.x, data.y),
+    ), data
+
+
+class TestTrainer:
+    def test_vanilla_uploads_everyone(self):
+        trainer, _ = _binary_federation(VanillaPolicy())
+        history = trainer.run()
+        assert all(r.n_uploaded == 4 for r in history)
+        assert history.final.accumulated_rounds == 4 * 6
+
+    def test_learning_happens(self):
+        trainer, _ = _binary_federation(VanillaPolicy(), rounds=10)
+        history = trainer.run()
+        assert history.final.test_metric > 0.85
+
+    def test_cmfl_threshold_zero_equals_vanilla(self):
+        """With v_t = 0 every update passes: CMFL degenerates to vanilla."""
+        t1, _ = _binary_federation(VanillaPolicy(), seed=3)
+        t2, _ = _binary_federation(CMFLPolicy(ConstantThreshold(0.0)), seed=3)
+        h1, h2 = t1.run(), t2.run()
+        np.testing.assert_allclose(
+            t1.server.global_params, t2.server.global_params
+        )
+        assert h1.final.accumulated_rounds == h2.final.accumulated_rounds
+
+    def test_cmfl_filters_some_updates(self):
+        trainer, _ = _binary_federation(
+            CMFLPolicy(ConstantThreshold(0.75)), rounds=8
+        )
+        history = trainer.run()
+        vanilla_phi = 4 * 8
+        assert history.final.accumulated_rounds < vanilla_phi
+
+    def test_force_best_keeps_progress_on_empty_rounds(self):
+        trainer, _ = _binary_federation(
+            _RejectAfterFirstRound(), rounds=5, on_empty_round="force_best",
+        )
+        history = trainer.run()
+        # every round after the first uploads exactly the forced best
+        assert [r.n_uploaded for r in history][1:] == [1] * 4
+
+    def test_keep_mode_stalls_model(self):
+        trainer, _ = _binary_federation(
+            _RejectAfterFirstRound(), rounds=4, on_empty_round="keep",
+        )
+        trainer.run()
+        params_after_round1 = trainer.server.global_params.copy()
+        # rounds 2+ upload nothing and the model must stay frozen
+        assert trainer.history.records[1].n_uploaded == 0
+        assert trainer.history.records[2].n_uploaded == 0
+        trainer.run(2)
+        np.testing.assert_array_equal(
+            trainer.server.global_params, params_after_round1
+        )
+
+    def test_reproducible_under_seed(self):
+        t1, _ = _binary_federation(VanillaPolicy(), seed=9)
+        t2, _ = _binary_federation(VanillaPolicy(), seed=9)
+        t1.run()
+        t2.run()
+        np.testing.assert_array_equal(
+            t1.server.global_params, t2.server.global_params
+        )
+
+    def test_duplicate_client_ids_rejected(self):
+        trainer, data = _binary_federation(VanillaPolicy())
+        clients = trainer.clients
+        clients[1] = FLClient(0, clients[1].train_data)
+        with pytest.raises(ValueError):
+            FederatedTrainer(trainer.workspace, clients, VanillaPolicy(),
+                             trainer.config)
+
+    def test_on_decision_hook_sees_every_client(self):
+        trainer, _ = _binary_federation(VanillaPolicy(), rounds=2)
+        calls = []
+        trainer.on_decision = lambda res, dec: calls.append(res.client_id)
+        trainer.run()
+        assert len(calls) == 4 * 2
+
+    def test_run_continues_from_previous_round(self):
+        trainer, _ = _binary_federation(VanillaPolicy(), rounds=2)
+        trainer.run(2)
+        trainer.run(3)
+        assert [r.iteration for r in trainer.history] == [1, 2, 3, 4, 5]
+
+
+class TestClientAndWorkspace:
+    def test_update_is_parameter_drift(self):
+        trainer, _ = _binary_federation(VanillaPolicy())
+        client = trainer.clients[0]
+        start = trainer.server.global_params.copy()
+        result = client.compute_update(
+            trainer.workspace, start, lr=0.5, local_epochs=1, batch_size=10
+        )
+        np.testing.assert_allclose(
+            start + result.update, trainer.workspace.get_flat()
+        )
+        assert result.n_samples == client.n_samples
+        assert np.isfinite(result.train_loss)
+
+    def test_negative_lr_rejected(self):
+        trainer, _ = _binary_federation(VanillaPolicy())
+        with pytest.raises(ValueError):
+            trainer.clients[0].compute_update(
+                trainer.workspace, trainer.server.global_params,
+                lr=-0.1, local_epochs=1, batch_size=4,
+            )
+
+    def test_workspace_evaluate(self):
+        trainer, data = _binary_federation(VanillaPolicy())
+        loss, metric = trainer.workspace.evaluate(data.x, data.y)
+        assert np.isfinite(loss)
+        assert 0.0 <= metric <= 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FLConfig(rounds=0)
+        with pytest.raises(ValueError):
+            FLConfig(on_empty_round="bogus")
+
+
+class TestLedgerProperties:
+    """Hypothesis checks on the communication ledger's conservation laws."""
+
+    def test_bytes_are_linear_in_uploads(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+        from repro.nn.serialization import STATUS_MESSAGE_BYTES, update_nbytes
+
+        @settings(max_examples=40)
+        @given(st.lists(st.tuples(st.integers(0, 6), st.integers(0, 6)),
+                        min_size=1, max_size=20),
+               st.integers(1, 10_000))
+        def check(rounds, n_params):
+            ledger = CommunicationLedger(n_params=n_params)
+            total_up, total_skip = 0, 0
+            next_id = 0
+            for ups, skips in rounds:
+                up_ids = list(range(next_id, next_id + ups))
+                skip_ids = list(range(next_id + ups, next_id + ups + skips))
+                next_id += ups + skips
+                ledger.record_round(up_ids, skip_ids)
+                total_up += ups
+                total_skip += skips
+            assert ledger.accumulated_rounds == total_up
+            assert ledger.uploaded_bytes == total_up * update_nbytes(n_params)
+            assert ledger.status_bytes == total_skip * STATUS_MESSAGE_BYTES
+            assert sum(ledger.rounds_per_iteration) == total_up
+
+        check()

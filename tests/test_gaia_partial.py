@@ -1,0 +1,82 @@
+"""Original-Gaia partial synchronisation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gaia_partial import GaiaPartialPolicy
+from repro.core.policy import PolicyContext
+from repro.core.thresholds import ConstantThreshold
+
+
+def ctx(params, iteration=1):
+    return PolicyContext(
+        iteration=iteration,
+        global_params=np.asarray(params, dtype=float),
+        global_update_estimate=np.zeros(len(params)),
+    )
+
+
+class TestPartialSync:
+    def test_insignificant_coordinates_zeroed(self):
+        policy = GaiaPartialPolicy(ConstantThreshold(0.5))
+        update = np.array([1.0, 0.1, 2.0, 0.01])
+        model = np.ones(4)
+        decision = policy.decide(update, ctx(model))
+        assert decision.upload
+        np.testing.assert_array_equal(update, [1.0, 0.0, 2.0, 0.0])
+        assert decision.score == pytest.approx(0.5)
+
+    def test_all_insignificant_becomes_status(self):
+        policy = GaiaPartialPolicy(ConstantThreshold(10.0))
+        update = np.array([0.1, 0.2])
+        decision = policy.decide(update, ctx(np.ones(2)))
+        assert not decision.upload
+        assert policy.stats.shipped_bytes > 0  # the status notice
+
+    def test_byte_accounting(self):
+        policy = GaiaPartialPolicy(ConstantThreshold(0.5))
+        update = np.array([1.0, 0.1, 2.0, 0.01])
+        policy.decide(update, ctx(np.ones(4)))
+        assert policy.stats.dense_equivalent_bytes == 16
+        assert policy.stats.shipped_bytes == 2 * 8
+        assert policy.stats.bytes_saved_ratio == pytest.approx(1.0)
+
+    def test_sparse_regime_saves_bytes(self):
+        policy = GaiaPartialPolicy(ConstantThreshold(0.5))
+        update = np.zeros(100)
+        update[:5] = 10.0
+        policy.decide(update, ctx(np.ones(100)))
+        assert policy.stats.bytes_saved_ratio == pytest.approx(400 / 40)
+
+    def test_runs_in_a_federation(self):
+        from repro.data.dataset import Dataset
+        from repro.data.partition import iid_partition
+        from repro.fl.client import FLClient
+        from repro.fl.config import FLConfig
+        from repro.fl.trainer import FederatedTrainer
+        from repro.fl.workspace import ModelWorkspace
+        from repro.models.linear import make_logistic_regression
+        from repro.nn.losses import SigmoidBinaryCrossEntropy
+        from repro.nn.optimizers import SGD
+        from repro.nn.schedules import ConstantLR
+        from repro.utils.rng import child_rngs
+
+        rngs = child_rngs(5, 8)
+        x = rngs[0].normal(size=(60, 5))
+        y = (x @ rngs[1].normal(size=5) > 0).astype(np.int64)
+        data = Dataset(x, y)
+        model = make_logistic_regression(5, rng=rngs[2])
+        workspace = ModelWorkspace(model, SigmoidBinaryCrossEntropy(),
+                                   SGD(model.parameters(), 0.5))
+        clients = [FLClient(i, data.subset(p), rng=rngs[3 + i])
+                   for i, p in enumerate(iid_partition(60, 4, rng=0))]
+        policy = GaiaPartialPolicy(ConstantThreshold(0.05))
+        trainer = FederatedTrainer(
+            workspace, clients, policy,
+            FLConfig(rounds=5, local_epochs=1, batch_size=10,
+                     lr=ConstantLR(0.5)),
+        )
+        history = trainer.run()
+        losses = history.train_losses()
+        assert losses[-1] < losses[0]
+        assert policy.stats.mean_significant_fraction > 0

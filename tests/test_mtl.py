@@ -1,0 +1,152 @@
+"""The MOCHA-style MTL substrate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.vanilla import VanillaPolicy
+from repro.core.policy import CMFLPolicy
+from repro.core.thresholds import ConstantThreshold
+from repro.data.har import make_har_tasks
+from repro.mtl.mocha import MochaTrainer, MTLConfig
+from repro.mtl.relationship import (
+    inverse_relationship,
+    relationship_matrix,
+    task_similarity,
+)
+
+
+@pytest.fixture
+def tasks():
+    return make_har_tasks(n_clients=10, n_features=20, min_samples=10,
+                          max_samples=30, rng=0)
+
+
+@pytest.fixture
+def config():
+    return MTLConfig(rounds=5, local_epochs=1, batch_size=5, lr=0.01,
+                     personal_retention=0.5, eval_every=1, seed=1)
+
+
+class TestRelationship:
+    def test_symmetric_unit_trace(self, rng):
+        w = rng.normal(size=(8, 4))
+        omega = relationship_matrix(w, ridge=0.0)
+        np.testing.assert_allclose(omega, omega.T, atol=1e-10)
+        assert np.trace(omega) == pytest.approx(1.0)
+
+    def test_positive_definite(self, rng):
+        w = rng.normal(size=(8, 4))
+        omega = relationship_matrix(w)
+        assert np.all(np.linalg.eigvalsh(omega) > 0)
+
+    def test_inverse(self, rng):
+        w = rng.normal(size=(8, 4))
+        omega = relationship_matrix(w)
+        inv = inverse_relationship(omega, ridge=0.0)
+        np.testing.assert_allclose(omega @ inv, np.eye(4), atol=1e-6)
+
+    def test_similarity_identical_columns(self):
+        w = np.tile(np.arange(1, 5, dtype=float)[:, None], (1, 3))
+        sim = task_similarity(w)
+        np.testing.assert_allclose(sim, np.ones((3, 3)))
+
+    def test_similarity_opposite_columns(self):
+        col = np.arange(1, 5, dtype=float)
+        w = np.stack([col, -col], axis=1)
+        sim = task_similarity(w)
+        assert sim[0, 1] == pytest.approx(-1.0)
+
+    def test_zero_column_similarity_is_zero(self):
+        w = np.zeros((4, 2))
+        w[:, 0] = 1.0
+        sim = task_similarity(w)
+        assert sim[0, 1] == 0.0
+
+
+class TestMTLConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MTLConfig(rounds=0)
+        with pytest.raises(ValueError):
+            MTLConfig(lr=0.0)
+        with pytest.raises(ValueError):
+            MTLConfig(personal_retention=1.5)
+        with pytest.raises(ValueError):
+            MTLConfig(feedback_mode="bogus")
+
+
+class TestMochaTrainer:
+    def test_runs_and_records(self, tasks, config):
+        trainer = MochaTrainer(tasks, VanillaPolicy(), config)
+        history = trainer.run()
+        assert len(history) == 5
+        assert history.final.accumulated_rounds == 10 * 5
+        assert 0.0 <= history.final.test_metric <= 1.0
+
+    def test_learning_improves_over_zero_init(self):
+        low_noise = make_har_tasks(n_clients=10, n_features=20,
+                                   min_samples=10, max_samples=30,
+                                   noise_std=1.0, rng=0)
+        config = MTLConfig(rounds=8, local_epochs=2, batch_size=5, lr=0.05,
+                           personal_retention=0.5, eval_every=1, seed=1)
+        trainer = MochaTrainer(low_noise, VanillaPolicy(), config)
+        history = trainer.run()
+        # zero weights predict class 1 everywhere -> ~0.5 accuracy
+        assert history.final.test_metric > 0.65
+
+    def test_task_weights_combines_base_and_offset(self, tasks, config):
+        trainer = MochaTrainer(tasks, VanillaPolicy(), config)
+        trainer.run(2)
+        k = 0
+        np.testing.assert_allclose(
+            trainer.task_weights(k), trainer.base + trainer.offsets[:, k]
+        )
+
+    def test_cmfl_reduces_uploads(self, config):
+        tasks = make_har_tasks(n_clients=10, n_features=20, min_samples=10,
+                               max_samples=30, rng=0)
+        vanilla = MochaTrainer(tasks, VanillaPolicy(), config).run()
+        tasks = make_har_tasks(n_clients=10, n_features=20, min_samples=10,
+                               max_samples=30, rng=0)
+        cmfl = MochaTrainer(
+            tasks, CMFLPolicy(ConstantThreshold(0.55)), config
+        ).run()
+        assert cmfl.final.accumulated_rounds < vanilla.final.accumulated_rounds
+
+    def test_outliers_filtered_more_than_clean(self):
+        tasks = make_har_tasks(n_clients=20, n_features=60, min_samples=15,
+                               max_samples=40, noise_std=0.8, rng=4)
+        config = MTLConfig(rounds=10, local_epochs=1, batch_size=5, lr=0.005,
+                           personal_retention=0.5, eval_every=5, seed=2)
+        trainer = MochaTrainer(tasks, CMFLPolicy(ConstantThreshold(0.53)),
+                               config)
+        trainer.run()
+        skips = np.asarray(trainer.ledger.elimination_counts(20), dtype=float)
+        outliers = np.asarray([t.is_outlier for t in tasks])
+        assert skips[outliers].mean() > skips[~outliers].mean()
+
+    def test_feedback_modes_run(self, tasks):
+        for mode in ("mean", "relationship"):
+            config = MTLConfig(rounds=3, local_epochs=1, batch_size=5,
+                               lr=0.01, feedback_mode=mode, seed=1)
+            history = MochaTrainer(tasks, VanillaPolicy(), config).run()
+            assert len(history) == 3
+
+    def test_reproducible(self, config):
+        results = []
+        for _ in range(2):
+            tasks = make_har_tasks(n_clients=6, n_features=15, rng=7)
+            trainer = MochaTrainer(tasks, VanillaPolicy(), config)
+            trainer.run()
+            results.append(trainer.base.copy())
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_mismatched_feature_dims_rejected(self, config):
+        a = make_har_tasks(n_clients=3, n_features=10, rng=0)
+        b = make_har_tasks(n_clients=3, n_features=12, rng=0)
+        with pytest.raises(ValueError):
+            MochaTrainer(a + b, VanillaPolicy(), config)
+
+    def test_empty_tasks_rejected(self, config):
+        with pytest.raises(ValueError):
+            MochaTrainer([], VanillaPolicy(), config)

@@ -1,0 +1,71 @@
+"""Hypothesis property tests for the NN substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.activations import sigmoid, softmax
+from repro.nn.initializers import glorot_uniform, he_normal, orthogonal
+from repro.nn.layers.dense import Dense
+from repro.nn.module import Sequential
+from repro.nn.serialization import assign_flat_parameters, flatten_parameters
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@given(arrays(np.float64, st.integers(1, 40), elements=finite_floats))
+def test_sigmoid_bounded(x):
+    out = sigmoid(x)
+    assert np.all(out >= 0.0) and np.all(out <= 1.0)
+    assert np.all(np.isfinite(out))
+
+
+@given(arrays(np.float64, st.tuples(st.integers(1, 6), st.integers(2, 8)),
+              elements=finite_floats))
+def test_softmax_is_distribution(x):
+    probs = softmax(x, axis=1)
+    assert np.all(probs >= 0.0)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-8)
+
+
+@given(arrays(np.float64, st.integers(1, 40),
+              elements=st.floats(-50, 50, allow_nan=False)))
+def test_sigmoid_symmetry(x):
+    np.testing.assert_allclose(sigmoid(-x), 1.0 - sigmoid(x), atol=1e-12)
+
+
+@settings(max_examples=25)
+@given(st.integers(0, 2**32 - 1), st.integers(2, 10), st.integers(2, 10))
+def test_flat_round_trip_is_identity(seed, d_in, d_out):
+    model = Sequential([Dense(d_in, d_out, rng=seed)])
+    flat = flatten_parameters(model)
+    rng = np.random.default_rng(seed)
+    new = rng.normal(size=flat.size)
+    assign_flat_parameters(model, new)
+    np.testing.assert_array_equal(flatten_parameters(model), new)
+
+
+@settings(max_examples=25)
+@given(st.integers(0, 2**32 - 1), st.integers(2, 12))
+def test_orthogonal_init_is_orthogonal(seed, n):
+    q = orthogonal((n, n), rng=seed)
+    np.testing.assert_allclose(q @ q.T, np.eye(n), atol=1e-8)
+
+
+@settings(max_examples=25)
+@given(st.integers(0, 2**32 - 1), st.integers(1, 30), st.integers(1, 30))
+def test_glorot_within_limit(seed, fan_in, fan_out):
+    w = glorot_uniform((fan_in, fan_out), rng=seed)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    assert np.all(np.abs(w) <= limit)
+
+
+@settings(max_examples=15)
+@given(st.integers(0, 2**32 - 1))
+def test_he_normal_scale(seed):
+    w = he_normal((400, 10), rng=seed)
+    expected_std = np.sqrt(2.0 / 400)
+    assert abs(w.std() - expected_std) / expected_std < 0.25

@@ -1,0 +1,139 @@
+"""Differential-privacy mechanism: clipping, noise, accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl.privacy import GaussianMechanism, clip_update
+
+
+class TestClipping:
+    def test_small_update_untouched(self):
+        vec = np.array([0.3, 0.4])  # norm 0.5
+        np.testing.assert_array_equal(clip_update(vec, 1.0), vec)
+
+    def test_large_update_scaled_to_bound(self):
+        vec = np.array([3.0, 4.0])  # norm 5
+        clipped = clip_update(vec, 1.0)
+        assert np.linalg.norm(clipped) == pytest.approx(1.0)
+        # direction preserved
+        np.testing.assert_allclose(clipped / np.linalg.norm(clipped),
+                                   vec / np.linalg.norm(vec))
+
+    def test_zero_vector_passes(self):
+        np.testing.assert_array_equal(clip_update(np.zeros(3), 1.0),
+                                      np.zeros(3))
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            clip_update(np.ones(2), 0.0)
+
+    @settings(max_examples=40)
+    @given(st.integers(0, 2**31 - 1), st.floats(0.1, 10.0))
+    def test_clip_never_exceeds_bound(self, seed, bound):
+        vec = np.random.default_rng(seed).normal(size=20) * 10
+        assert np.linalg.norm(clip_update(vec, bound)) <= bound + 1e-9
+
+
+class TestMechanism:
+    def test_noise_scale(self):
+        mech = GaussianMechanism(clip_norm=1.0, noise_multiplier=2.0, rng=0)
+        outs = np.stack([mech.privatize(np.zeros(50)) for _ in range(200)])
+        assert outs.std() == pytest.approx(2.0, rel=0.1)
+
+    def test_zero_noise_is_pure_clipping(self):
+        mech = GaussianMechanism(clip_norm=1.0, noise_multiplier=0.0)
+        vec = np.array([3.0, 4.0])
+        out = mech.privatize(vec)
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+    def test_accounting_composes_linearly(self):
+        mech = GaussianMechanism(clip_norm=1.0, noise_multiplier=1.0,
+                                 delta=1e-5, rng=0)
+        for _ in range(10):
+            mech.privatize(np.ones(4))
+        spent = mech.spent()
+        assert spent.steps == 10
+        assert spent.epsilon == pytest.approx(10 * mech.epsilon_per_step())
+        assert spent.delta == pytest.approx(1e-4)
+
+    def test_more_noise_less_epsilon(self):
+        low = GaussianMechanism(1.0, noise_multiplier=0.5)
+        high = GaussianMechanism(1.0, noise_multiplier=2.0)
+        assert high.epsilon_per_step() < low.epsilon_per_step()
+
+    def test_zero_noise_infinite_epsilon(self):
+        mech = GaussianMechanism(1.0, noise_multiplier=0.0)
+        assert mech.epsilon_per_step() == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianMechanism(0.0, 1.0)
+        with pytest.raises(ValueError):
+            GaussianMechanism(1.0, -1.0)
+        with pytest.raises(ValueError):
+            GaussianMechanism(1.0, 1.0, delta=2.0)
+
+    def test_privatized_update_feeds_aggregation(self):
+        """DP-noised updates still aggregate sanely."""
+        from repro.fl.aggregation import mean_aggregate
+        from repro.fl.client import ClientUpdate
+
+        mech = GaussianMechanism(clip_norm=0.5, noise_multiplier=0.1, rng=1)
+        gen = np.random.default_rng(2)
+        updates = [
+            ClientUpdate(i, mech.privatize(gen.normal(size=30)), 10, 0.1)
+            for i in range(20)
+        ]
+        agg = mean_aggregate(updates)
+        assert np.all(np.isfinite(agg))
+        assert np.linalg.norm(agg) < 0.5 + 3 * 0.05 / np.sqrt(20) * 30
+
+
+class TestPrivatizedPolicy:
+    def test_composes_in_a_federation(self):
+        from repro.baselines.vanilla import VanillaPolicy
+        from repro.data.dataset import Dataset
+        from repro.data.partition import iid_partition
+        from repro.fl.client import FLClient
+        from repro.fl.config import FLConfig
+        from repro.fl.privacy import PrivatizedPolicy
+        from repro.fl.trainer import FederatedTrainer
+        from repro.fl.workspace import ModelWorkspace
+        from repro.models.linear import make_logistic_regression
+        from repro.nn.losses import SigmoidBinaryCrossEntropy
+        from repro.nn.optimizers import SGD
+        from repro.nn.schedules import ConstantLR
+        from repro.utils.rng import child_rngs
+
+        rngs = child_rngs(4, 8)
+        x = rngs[0].normal(size=(60, 5))
+        y = (x @ rngs[1].normal(size=5) > 0).astype(np.int64)
+        data = Dataset(x, y)
+        model = make_logistic_regression(5, rng=rngs[2])
+        workspace = ModelWorkspace(model, SigmoidBinaryCrossEntropy(),
+                                   SGD(model.parameters(), 0.5))
+        clients = [FLClient(i, data.subset(p), rng=rngs[3 + i])
+                   for i, p in enumerate(iid_partition(60, 4, rng=0))]
+        mech = GaussianMechanism(clip_norm=1.0, noise_multiplier=0.3, rng=5)
+        policy = PrivatizedPolicy(VanillaPolicy(), mech)
+        trainer = FederatedTrainer(
+            workspace, clients, policy,
+            FLConfig(rounds=4, local_epochs=1, batch_size=10,
+                     lr=ConstantLR(0.5)),
+        )
+        trainer.run()
+        spent = mech.spent()
+        assert spent.steps == 4 * 4
+        assert np.isfinite(spent.epsilon)
+        assert np.all(np.isfinite(trainer.server.global_params))
+
+    def test_name(self):
+        from repro.baselines.vanilla import VanillaPolicy
+        from repro.fl.privacy import PrivatizedPolicy
+
+        policy = PrivatizedPolicy(
+            VanillaPolicy(), GaussianMechanism(1.0, 1.0)
+        )
+        assert policy.name == "vanilla+dp"

@@ -1,0 +1,118 @@
+"""Client sampling and failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.vanilla import VanillaPolicy
+from repro.data.dataset import Dataset
+from repro.fl.client import FLClient
+from repro.fl.config import FLConfig
+from repro.fl.sampling import (
+    FullParticipation,
+    UniformSampler,
+    UnreliableParticipation,
+)
+from repro.fl.trainer import FederatedTrainer
+from repro.fl.workspace import ModelWorkspace
+from repro.models.linear import make_logistic_regression
+from repro.nn.losses import SigmoidBinaryCrossEntropy
+from repro.nn.optimizers import SGD
+from repro.nn.schedules import ConstantLR
+from repro.utils.rng import child_rngs
+
+
+def _clients(n=10, per=12, seed=0):
+    rngs = child_rngs(seed, n + 2)
+    w = rngs[0].normal(size=4)
+    out = []
+    for i in range(n):
+        x = rngs[1].normal(size=(per, 4))
+        y = (x @ w > 0).astype(np.int64)
+        out.append(FLClient(i, Dataset(x, y), rng=rngs[2 + i]))
+    return out
+
+
+class TestSamplers:
+    def test_full_participation(self):
+        clients = _clients(5)
+        assert FullParticipation().select(1, clients) == clients
+
+    def test_uniform_fraction_size(self):
+        clients = _clients(10)
+        sampler = UniformSampler(0.3, rng=0)
+        selected = sampler.select(1, clients)
+        assert len(selected) == 3
+        assert len({c.client_id for c in selected}) == 3
+
+    def test_uniform_changes_across_rounds(self):
+        clients = _clients(10)
+        sampler = UniformSampler(0.5, rng=1)
+        a = {c.client_id for c in sampler.select(1, clients)}
+        b = {c.client_id for c in sampler.select(2, clients)}
+        c = {c.client_id for c in sampler.select(3, clients)}
+        assert len({frozenset(a), frozenset(b), frozenset(c)}) > 1
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            UniformSampler(0.0)
+        with pytest.raises(ValueError):
+            UniformSampler(1.5)
+
+    def test_tiny_fraction_selects_at_least_one(self):
+        clients = _clients(10)
+        assert len(UniformSampler(0.01, rng=0).select(1, clients)) == 1
+
+    def test_unreliable_drops_some(self):
+        clients = _clients(20)
+        sampler = UnreliableParticipation(FullParticipation(), 0.5, rng=0)
+        sizes = [len(sampler.select(t, clients)) for t in range(5)]
+        assert all(1 <= s <= 20 for s in sizes)
+        assert min(sizes) < 20
+
+    def test_unreliable_never_empty(self):
+        clients = _clients(3)
+        sampler = UnreliableParticipation(FullParticipation(), 0.99, rng=0)
+        for t in range(20):
+            assert len(sampler.select(t, clients)) >= 1
+
+    def test_drop_probability_validated(self):
+        with pytest.raises(ValueError):
+            UnreliableParticipation(FullParticipation(), 1.0)
+
+
+class TestTrainerIntegration:
+    def _trainer(self, sampler, rounds=4):
+        clients = _clients(8)
+        model = make_logistic_regression(4, rng=3)
+        workspace = ModelWorkspace(model, SigmoidBinaryCrossEntropy(),
+                                   SGD(model.parameters(), 0.5))
+        config = FLConfig(rounds=rounds, local_epochs=1, batch_size=6,
+                          lr=ConstantLR(0.3))
+        return FederatedTrainer(workspace, clients, VanillaPolicy(), config,
+                                sampler=sampler)
+
+    def test_sampled_round_uploads_only_participants(self):
+        trainer = self._trainer(UniformSampler(0.25, rng=0))
+        history = trainer.run()
+        assert all(r.n_clients == 2 for r in history)
+        assert all(r.n_uploaded == 2 for r in history)
+        assert history.final.accumulated_rounds == 2 * 4
+
+    def test_default_is_full_participation(self):
+        trainer = self._trainer(None)
+        history = trainer.run()
+        assert all(r.n_clients == 8 for r in history)
+
+    def test_learning_still_happens_with_sampling(self):
+        trainer = self._trainer(UniformSampler(0.5, rng=2), rounds=8)
+        history = trainer.run()
+        losses = history.train_losses()
+        assert losses[-1] < losses[0]
+
+    def test_failure_injection_run_completes(self):
+        sampler = UnreliableParticipation(UniformSampler(0.8, rng=1), 0.3,
+                                          rng=2)
+        trainer = self._trainer(sampler, rounds=6)
+        history = trainer.run()
+        assert len(history) == 6
+        assert np.all(np.isfinite(trainer.server.global_params))

@@ -1,0 +1,100 @@
+"""Secure aggregation: masks cancel, privacy holds, dropouts unmask."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl.secure import SecureAggregator, pairwise_mask
+
+
+def _updates(n_clients, n_params, seed=0):
+    gen = np.random.default_rng(seed)
+    return {i: gen.normal(size=n_params) for i in range(n_clients)}
+
+
+class TestPairwiseMask:
+    def test_symmetric_in_pair(self):
+        a = pairwise_mask(7, 2, 5, 16)
+        b = pairwise_mask(7, 5, 2, 16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinct_pairs_distinct_masks(self):
+        a = pairwise_mask(7, 2, 5, 16)
+        b = pairwise_mask(7, 2, 6, 16)
+        assert not np.array_equal(a, b)
+
+    def test_self_mask_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_mask(7, 3, 3, 16)
+
+
+class TestAggregation:
+    def test_masks_cancel_exactly(self):
+        updates = _updates(5, 32)
+        agg = SecureAggregator(list(updates), n_params=32, master_seed=11)
+        for cid, u in updates.items():
+            agg.submit(cid, agg.mask_update(cid, u))
+        total, count = agg.aggregate()
+        assert count == 5
+        np.testing.assert_allclose(total, sum(updates.values()), atol=1e-9)
+
+    def test_mean_matches_plain_mean(self):
+        updates = _updates(4, 10, seed=3)
+        agg = SecureAggregator(list(updates), n_params=10, master_seed=2)
+        for cid, u in updates.items():
+            agg.submit(cid, agg.mask_update(cid, u))
+        np.testing.assert_allclose(
+            agg.aggregate_mean(), np.mean(list(updates.values()), axis=0),
+            atol=1e-9,
+        )
+
+    def test_masked_upload_hides_the_raw_update(self):
+        """The server-visible vector is far from the raw update."""
+        updates = _updates(3, 64, seed=5)
+        agg = SecureAggregator(list(updates), n_params=64, master_seed=9,
+                               mask_scale=5.0)
+        masked = agg.mask_update(0, updates[0])
+        raw = updates[0]
+        correlation = np.dot(masked, raw) / (
+            np.linalg.norm(masked) * np.linalg.norm(raw)
+        )
+        assert abs(correlation) < 0.5
+
+    def test_dropout_unmasking(self):
+        """A client that masks but never submits is reconstructed away."""
+        updates = _updates(4, 20, seed=7)
+        agg = SecureAggregator(list(updates), n_params=20, master_seed=4)
+        for cid in (0, 1, 3):  # client 2 drops out after masking
+            agg.submit(cid, agg.mask_update(cid, updates[cid]))
+        assert agg.missing() == [2]
+        total, count = agg.aggregate()
+        assert count == 3
+        expected = updates[0] + updates[1] + updates[3]
+        np.testing.assert_allclose(total, expected, atol=1e-9)
+
+    def test_double_submit_rejected(self):
+        agg = SecureAggregator([0, 1], n_params=4, master_seed=0)
+        agg.submit(0, np.zeros(4))
+        with pytest.raises(ValueError):
+            agg.submit(0, np.zeros(4))
+
+    def test_unknown_client_rejected(self):
+        agg = SecureAggregator([0, 1], n_params=4, master_seed=0)
+        with pytest.raises(ValueError):
+            agg.mask_update(9, np.zeros(4))
+
+    def test_needs_two_participants(self):
+        with pytest.raises(ValueError):
+            SecureAggregator([0], n_params=4, master_seed=0)
+
+    @settings(max_examples=20)
+    @given(st.integers(2, 8), st.integers(1, 40), st.integers(0, 2**31 - 1))
+    def test_cancellation_property(self, n_clients, n_params, seed):
+        updates = _updates(n_clients, n_params, seed=seed)
+        agg = SecureAggregator(list(updates), n_params=n_params,
+                               master_seed=seed)
+        for cid, u in updates.items():
+            agg.submit(cid, agg.mask_update(cid, u))
+        total, _ = agg.aggregate()
+        np.testing.assert_allclose(total, sum(updates.values()), atol=1e-7)

@@ -1,0 +1,66 @@
+"""The shared experiment workload builders."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.vanilla import VanillaPolicy
+from repro.experiments.workloads import (
+    SCALES,
+    DigitsWorkload,
+    NWPWorkload,
+    resolve_scale,
+)
+from repro.nn.serialization import flatten_parameters
+
+
+class TestScaleResolution:
+    def test_known_scales(self):
+        assert set(SCALES) == {"test", "bench", "paper"}
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_scale("gigantic")
+
+
+class TestDigitsWorkload:
+    def test_partition_covers_everything(self):
+        workload = DigitsWorkload(scale="test")
+        allidx = np.concatenate(workload.partition)
+        assert sorted(allidx.tolist()) == list(range(len(workload.train)))
+
+    def test_trainers_share_data_and_init(self):
+        """Different policies must start from identical conditions."""
+        workload = DigitsWorkload(scale="test")
+        t1 = workload.make_trainer(VanillaPolicy())
+        t2 = workload.make_trainer(VanillaPolicy())
+        np.testing.assert_array_equal(
+            flatten_parameters(t1.workspace.model),
+            flatten_parameters(t2.workspace.model),
+        )
+        np.testing.assert_array_equal(
+            t1.clients[0].train_data.y, t2.clients[0].train_data.y
+        )
+
+    def test_config_overrides(self):
+        workload = DigitsWorkload(scale="test")
+        trainer = workload.make_trainer(VanillaPolicy(), rounds=2,
+                                        local_epochs=3)
+        assert trainer.config.rounds == 2
+        assert trainer.config.local_epochs == 3
+
+    def test_distinct_seeds_give_distinct_data(self):
+        a = DigitsWorkload(scale="test", seed=1)
+        b = DigitsWorkload(scale="test", seed=2)
+        assert not np.array_equal(a.train.x, b.train.x)
+
+
+class TestNWPWorkload:
+    def test_one_client_per_role(self):
+        workload = NWPWorkload(scale="test")
+        assert len(workload.train_indices_by_role) == workload.params.n_clients
+
+    def test_vocab_consistent_with_model(self):
+        workload = NWPWorkload(scale="test")
+        trainer = workload.make_trainer(VanillaPolicy(), rounds=1)
+        out = trainer.workspace.model.forward(workload.test.x[:2])
+        assert out.shape == (2, workload.vocab_size)
