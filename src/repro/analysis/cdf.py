@@ -6,6 +6,8 @@ from typing import Tuple
 
 import numpy as np
 
+__all__ = ["empirical_cdf", "fraction_below", "quantile"]
+
 
 def empirical_cdf(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """(sorted values, cumulative probabilities in (0, 1])."""

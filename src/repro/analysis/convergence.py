@@ -14,6 +14,8 @@ from typing import List
 
 import numpy as np
 
+__all__ = ["RegretTracker", "theoretical_bound"]
+
 
 class RegretTracker:
     """Accumulates |f(x_t) - f(x*)| over iterations."""

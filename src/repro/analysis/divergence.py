@@ -11,6 +11,8 @@ from typing import Sequence
 
 import numpy as np
 
+__all__ = ["divergence_summary", "normalized_model_divergence"]
+
 _EPS = 1e-12
 
 

@@ -15,6 +15,13 @@ import numpy as np
 from repro.fl.history import RunHistory
 from repro.utils.smoothing import moving_average
 
+__all__ = [
+    "best_reached_accuracy",
+    "bytes_to_accuracy",
+    "rounds_to_accuracy",
+    "saving",
+]
+
 
 def rounds_to_accuracy(
     history: RunHistory, target: float, smooth_window: int = 3

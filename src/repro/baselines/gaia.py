@@ -19,6 +19,8 @@ import numpy as np
 from repro.core.policy import PolicyContext, UploadDecision, UploadPolicy
 from repro.core.thresholds import ThresholdSchedule
 
+__all__ = ["GaiaPolicy", "gaia_significance"]
+
 _EPS = 1e-12
 
 MODES = ("norm_ratio", "per_parameter")

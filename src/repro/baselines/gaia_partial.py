@@ -24,6 +24,8 @@ from repro.core.policy import PolicyContext, UploadDecision, UploadPolicy
 from repro.core.thresholds import ThresholdSchedule
 from repro.nn.serialization import STATUS_MESSAGE_BYTES
 
+__all__ = ["GaiaPartialPolicy", "PartialSyncStats"]
+
 _EPS = 1e-12
 
 #: Bytes per shipped coordinate: 4 for the value plus 4 for its index.

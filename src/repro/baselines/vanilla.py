@@ -6,6 +6,8 @@ import numpy as np
 
 from repro.core.policy import PolicyContext, UploadDecision, UploadPolicy
 
+__all__ = ["VanillaPolicy"]
+
 
 class VanillaPolicy(UploadPolicy):
     """The no-filtering baseline (McMahan et al.'s synchronous FL)."""

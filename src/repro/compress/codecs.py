@@ -15,6 +15,15 @@ import numpy as np
 
 from repro.utils.rng import RngLike, ensure_rng
 
+__all__ = [
+    "Codec",
+    "CompressedUpdate",
+    "IdentityCodec",
+    "QuantizationCodec",
+    "RandomSparsifier",
+    "TopKSparsifier",
+]
+
 #: Bytes of framing per compressed message (ids, shapes, scales).
 CODEC_HEADER_BYTES = 24
 #: Bytes per index when a sparse codec ships coordinates.
@@ -158,7 +167,7 @@ class TopKSparsifier(Codec):
         )
 
     def decode(self, compressed: CompressedUpdate) -> np.ndarray:
-        out = np.zeros(compressed.n_params)
+        out = np.zeros(compressed.n_params, dtype=float)
         out[compressed.indices] = compressed.payload
         return out
 
@@ -195,6 +204,6 @@ class RandomSparsifier(Codec):
         )
 
     def decode(self, compressed: CompressedUpdate) -> np.ndarray:
-        out = np.zeros(compressed.n_params)
+        out = np.zeros(compressed.n_params, dtype=float)
         out[compressed.indices] = compressed.payload
         return out

@@ -20,6 +20,8 @@ from repro.compress.codecs import Codec
 from repro.core.policy import PolicyContext, UploadDecision, UploadPolicy
 from repro.nn.serialization import STATUS_MESSAGE_BYTES
 
+__all__ = ["CompressionPipeline", "CompressionStats"]
+
 
 @dataclass
 class CompressionStats:

@@ -14,6 +14,8 @@ from typing import List, Optional
 
 import numpy as np
 
+__all__ = ["GlobalUpdateEstimator", "normalized_update_difference"]
+
 
 def normalized_update_difference(
     update_prev: np.ndarray, update_next: np.ndarray
@@ -52,7 +54,7 @@ class GlobalUpdateEstimator:
     def estimate(self) -> np.ndarray:
         """Current feedback u_bar (zeros before any global update exists)."""
         if len(self._history) < self.staleness:
-            return np.zeros(self.n_params)
+            return np.zeros(self.n_params, dtype=float)
         return self._history[-self.staleness]
 
     @property

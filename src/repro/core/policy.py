@@ -17,6 +17,8 @@ import numpy as np
 from repro.core.relevance import relevance
 from repro.core.thresholds import ThresholdSchedule
 
+__all__ = ["CMFLPolicy", "PolicyContext", "UploadDecision", "UploadPolicy"]
+
 
 @dataclass(frozen=True)
 class PolicyContext:

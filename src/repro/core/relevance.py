@@ -18,6 +18,8 @@ from typing import Tuple
 
 import numpy as np
 
+__all__ = ["relevance", "relevance_per_segment", "sign_agreement_counts"]
+
 
 def sign_agreement_counts(
     u: np.ndarray, u_bar: np.ndarray

@@ -9,6 +9,13 @@ decay as a further design point.
 
 from __future__ import annotations
 
+__all__ = [
+    "ConstantThreshold",
+    "InverseSqrtThreshold",
+    "LinearDecayThreshold",
+    "ThresholdSchedule",
+]
+
 
 class ThresholdSchedule:
     """Maps a 1-based iteration index to a threshold value."""

@@ -8,6 +8,8 @@ import numpy as np
 
 from repro.utils.rng import RngLike, ensure_rng
 
+__all__ = ["Dataset", "train_test_split"]
+
 
 class Dataset:
     """Paired arrays ``x`` (features) and ``y`` (targets) of equal length."""

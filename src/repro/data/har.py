@@ -20,6 +20,8 @@ import numpy as np
 from repro.data.dataset import Dataset
 from repro.utils.rng import RngLike, ensure_rng
 
+__all__ = ["TaskData", "make_har_tasks", "stack_tests"]
+
 
 @dataclass
 class TaskData:

@@ -16,6 +16,13 @@ import numpy as np
 
 from repro.utils.rng import RngLike, ensure_rng
 
+__all__ = [
+    "dirichlet_partition",
+    "group_partition",
+    "iid_partition",
+    "label_shard_partition",
+]
+
 
 def _validate(n_items: int, n_clients: int) -> None:
     if n_clients < 1:

@@ -19,6 +19,8 @@ from repro.data.har import TaskData
 from repro.data.synthetic_digits import binarize_images, render_digit
 from repro.utils.rng import RngLike, ensure_rng
 
+__all__ = ["make_semeion_tasks"]
+
 
 def make_semeion_tasks(
     n_clients: int = 15,

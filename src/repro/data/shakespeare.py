@@ -28,6 +28,8 @@ from repro.data.dataset import Dataset
 from repro.data.vocab import Vocabulary
 from repro.utils.rng import RngLike, ensure_rng
 
+__all__ = ["DialogueCorpus", "make_dialogue_corpus"]
+
 FUNCTION_WORDS = [
     "the", "and", "to", "of", "i", "you", "my", "a", "that", "in",
     "is", "not", "me", "it", "for", "with", "be", "your", "this", "his",

@@ -17,6 +17,8 @@ from scipy import ndimage
 from repro.data.dataset import Dataset
 from repro.utils.rng import RngLike, ensure_rng
 
+__all__ = ["binarize_images", "make_digit_dataset", "render_digit"]
+
 # 7 rows x 5 columns stroke bitmaps for digits 0..9.
 _GLYPHS_RAW = [
     # 0

@@ -6,6 +6,8 @@ from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
+__all__ = ["Vocabulary"]
+
 
 class Vocabulary:
     """Bidirectional token <-> id map.

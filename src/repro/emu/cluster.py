@@ -26,6 +26,8 @@ from repro.emu.network import LinkModel, NodeComputeModel
 from repro.fl.history import RoundRecord
 from repro.fl.trainer import FederatedTrainer
 
+__all__ = ["ClusterEmulator", "EmulationReport", "RoundTiming"]
+
 
 @dataclass
 class RoundTiming:

@@ -6,6 +6,8 @@ from enum import Enum
 
 from repro.nn.serialization import STATUS_MESSAGE_BYTES, update_nbytes
 
+__all__ = ["MessageKind", "message_size"]
+
 #: Fixed framing overhead per message (headers, ids, round number).
 HEADER_BYTES = 32
 

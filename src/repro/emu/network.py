@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+__all__ = ["LinkModel", "NodeComputeModel"]
+
 
 @dataclass(frozen=True)
 class LinkModel:

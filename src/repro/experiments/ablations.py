@@ -34,6 +34,8 @@ from repro.experiments.workloads import DigitsWorkload, resolve_scale
 from repro.fl.history import RunHistory
 from repro.utils.tables import format_table
 
+__all__ = ["AblationResult", "AblationRun", "main", "run"]
+
 _ROUNDS = {"test": 4, "bench": 30, "paper": 300}
 
 

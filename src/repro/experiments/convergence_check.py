@@ -35,6 +35,8 @@ from repro.nn.schedules import InverseSqrtLR
 from repro.utils.rng import child_rngs
 from repro.utils.tables import format_table
 
+__all__ = ["ConvergenceResult", "main", "run"]
+
 _ROUNDS = {"test": 12, "bench": 80, "paper": 400}
 
 

@@ -24,6 +24,8 @@ from repro.experiments.workloads import DigitsWorkload, NWPWorkload, resolve_sca
 from repro.fl.trainer import FederatedTrainer
 from repro.utils.tables import format_table
 
+__all__ = ["Fig1Result", "main", "measure_divergence", "run"]
+
 #: Warm-up rounds before divergence is measured, per scale.
 _WARMUP = {"test": 2, "bench": 10, "paper": 50}
 

@@ -22,6 +22,8 @@ from repro.core.relevance import relevance
 from repro.experiments.workloads import DigitsWorkload, resolve_scale
 from repro.utils.tables import format_table
 
+__all__ = ["Fig2Result", "main", "run"]
+
 _ROUNDS = {"test": 4, "bench": 40, "paper": 400}
 
 

@@ -24,6 +24,8 @@ from repro.baselines.vanilla import VanillaPolicy
 from repro.experiments.workloads import DigitsWorkload, NWPWorkload, resolve_scale
 from repro.utils.tables import format_table
 
+__all__ = ["Fig3Result", "main", "run"]
+
 _ROUNDS = {"test": 4, "bench": 25, "paper": 500}
 
 

@@ -33,6 +33,8 @@ from repro.experiments.workloads import DigitsWorkload, NWPWorkload, resolve_sca
 from repro.fl.history import RunHistory
 from repro.utils.tables import format_table
 
+__all__ = ["Fig4Result", "WorkloadComparison", "main", "run"]
+
 #: Target accuracies per workload.  The paper uses 60%/80% on its real
 #: datasets; our synthetic NWP corpus has a lower attainable ceiling, so
 #: its targets sit at comparable relative heights of the vanilla curve.

@@ -29,6 +29,17 @@ from repro.fl.history import RunHistory
 from repro.mtl.mocha import MochaTrainer, MTLConfig
 from repro.utils.tables import format_table
 
+__all__ = [
+    "Fig5Result",
+    "MTLComparison",
+    "har_config",
+    "main",
+    "make_tasks",
+    "run",
+    "run_dataset",
+    "shd_config",
+]
+
 #: Relevance thresholds.  The paper tunes 0.75 (HAR) / 0.2 (SHD); our
 #: relevance distributions sit elsewhere (HAR drifts cluster near 0.5,
 #: Semeion's sparse binary features push alignment toward 0.85), so the

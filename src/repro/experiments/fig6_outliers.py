@@ -24,6 +24,8 @@ from repro.experiments.workloads import resolve_scale
 from repro.mtl.mocha import MochaTrainer
 from repro.utils.tables import format_table
 
+__all__ = ["Fig6Result", "main", "run"]
+
 
 @dataclass
 class Fig6Result:

@@ -31,6 +31,8 @@ from repro.fl.history import RunHistory
 from repro.utils.smoothing import moving_average
 from repro.utils.tables import format_table
 
+__all__ = ["Fig7Result", "main", "run"]
+
 #: Accuracy levels for the Fig. 7b byte-volume comparison.
 ACCURACY_LEVELS = {"test": (0.05,), "bench": (0.12, 0.18, 0.22),
                    "paper": (0.5, 0.6, 0.7)}

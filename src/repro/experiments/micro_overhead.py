@@ -24,6 +24,8 @@ from repro.nn.optimizers import SGD
 from repro.nn.serialization import flatten_parameters, parameter_count
 from repro.utils.tables import format_table
 
+__all__ = ["MicroOverheadResult", "main", "run"]
+
 _REPEATS = {"test": 2, "bench": 5, "paper": 20}
 
 
@@ -76,7 +78,8 @@ def run(scale: Optional[str] = None) -> MicroOverheadResult:
 
     start = time.perf_counter()
     for _ in range(repeats * 200):
-        relevance(update, feedback)
+        # Timing loop: the value is deliberately discarded.
+        relevance(update, feedback)  # repro-lint: disable=unused-pure-result
     check_seconds = (time.perf_counter() - start) / (repeats * 200)
 
     # One "local training iteration" in the paper's sense: E passes of

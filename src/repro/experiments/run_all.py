@@ -25,6 +25,8 @@ from repro.experiments import (
     micro_overhead,
 )
 
+__all__ = ["main", "run_all"]
+
 EXPERIMENTS = (
     ("fig1_divergence", fig1_divergence),
     ("fig2_measures", fig2_measures),

@@ -36,6 +36,8 @@ from repro.nn.optimizers import SGD
 from repro.nn.schedules import InverseSqrtLR
 from repro.utils.rng import child_rngs
 
+__all__ = ["DigitsWorkload", "NWPWorkload", "Scale", "resolve_scale"]
+
 SCALES = ("test", "bench", "paper")
 
 #: Environment override for the default scale of every experiment.

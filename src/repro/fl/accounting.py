@@ -13,6 +13,8 @@ from typing import Dict, List
 
 from repro.nn.serialization import STATUS_MESSAGE_BYTES, update_nbytes
 
+__all__ = ["CommunicationLedger"]
+
 
 @dataclass
 class CommunicationLedger:

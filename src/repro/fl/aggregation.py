@@ -13,6 +13,8 @@ import numpy as np
 
 from repro.fl.client import ClientUpdate
 
+__all__ = ["mean_aggregate", "weighted_mean_aggregate"]
+
 
 def mean_aggregate(updates: Sequence[ClientUpdate]) -> np.ndarray:
     """u_bar = (1/|S|) * sum of received updates (Algorithm 1, line 8)."""

@@ -16,6 +16,8 @@ from repro.data.dataset import Dataset
 from repro.fl.workspace import ModelWorkspace
 from repro.utils.rng import RngLike, ensure_rng
 
+__all__ = ["ClientUpdate", "FLClient"]
+
 
 @dataclass
 class ClientUpdate:

@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 
 from repro.nn.schedules import ConstantLR, LRSchedule
 
+__all__ = ["FLConfig"]
+
 #: What to do in a round where every update was filtered out.
 #: "keep"  -- leave the model unchanged and reuse the previous feedback
 #:            (the literal reading of Algorithm 1; with few clients this
@@ -36,6 +38,9 @@ class FLConfig:
     on_empty_round: str = "force_best"
     weighted_aggregation: bool = False
     seed: int = 0
+    #: Runtime sanitizer: reject NaN/Inf in client updates and in the
+    #: aggregated global delta, naming the offending client and round.
+    check_finite: bool = False
 
     def __post_init__(self) -> None:
         if self.rounds < 1:

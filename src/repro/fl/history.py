@@ -7,6 +7,8 @@ from typing import List, Optional
 
 import numpy as np
 
+__all__ = ["RoundRecord", "RunHistory"]
+
 
 @dataclass
 class RoundRecord:

@@ -25,6 +25,13 @@ import numpy as np
 
 from repro.utils.rng import RngLike, ensure_rng
 
+__all__ = [
+    "GaussianMechanism",
+    "PrivacySpent",
+    "PrivatizedPolicy",
+    "clip_update",
+]
+
 
 def clip_update(update: np.ndarray, clip_norm: float) -> np.ndarray:
     """Scale ``update`` down to at most ``clip_norm`` in L2 (a copy)."""

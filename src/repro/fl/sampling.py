@@ -15,6 +15,13 @@ from typing import List, Sequence
 from repro.fl.client import FLClient
 from repro.utils.rng import RngLike, ensure_rng
 
+__all__ = [
+    "ClientSampler",
+    "FullParticipation",
+    "UniformSampler",
+    "UnreliableParticipation",
+]
+
 
 class ClientSampler:
     """Chooses which clients train in a given round."""

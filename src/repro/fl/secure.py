@@ -27,6 +27,8 @@ import numpy as np
 
 from repro.utils.rng import RngLike, ensure_rng
 
+__all__ = ["SecureAggregator", "pairwise_mask"]
+
 
 def _pair_seed(master_seed: int, i: int, j: int) -> int:
     """Deterministic per-pair seed; symmetric in (i, j)."""
@@ -109,7 +111,7 @@ class SecureAggregator:
         """
         if not self._received:
             raise ValueError("no submissions to aggregate")
-        total = np.zeros(self.n_params)
+        total = np.zeros(self.n_params, dtype=float)
         for vec in self._received.values():
             total += vec
         for dropped in self.missing():

@@ -10,6 +10,8 @@ from repro.core.feedback import GlobalUpdateEstimator
 from repro.fl.aggregation import mean_aggregate, weighted_mean_aggregate
 from repro.fl.client import ClientUpdate
 
+__all__ = ["FLServer"]
+
 
 class FLServer:
     """Holds the global parameters and aggregates received updates.

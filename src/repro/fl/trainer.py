@@ -21,9 +21,22 @@ from repro.fl.sampling import ClientSampler, FullParticipation
 from repro.fl.server import FLServer
 from repro.fl.workspace import ModelWorkspace
 
+__all__ = ["FederatedTrainer"]
+
 #: Optional evaluation callback: (workspace with global params loaded) ->
 #: (test_loss, test_metric).
 EvalFn = Callable[[ModelWorkspace], Tuple[float, float]]
+
+
+def _ensure_finite(vector: np.ndarray, what: str) -> None:
+    """Raise if ``vector`` carries NaN/Inf (the FLConfig.check_finite guard)."""
+    bad = np.count_nonzero(~np.isfinite(vector))
+    if bad:
+        raise FloatingPointError(
+            f"{what} contains {bad} non-finite value(s) out of "
+            f"{vector.size}; a diverging client or an unstable learning "
+            "rate is poisoning the federation"
+        )
 
 
 class FederatedTrainer:
@@ -84,6 +97,11 @@ class FederatedTrainer:
                 local_epochs=self.config.local_epochs,
                 batch_size=self.config.batch_size,
             )
+            if self.config.check_finite:
+                _ensure_finite(
+                    result.update,
+                    f"update from client {client.client_id} in round {t}",
+                )
             ctx = PolicyContext(
                 iteration=t,
                 global_params=global_params,
@@ -109,7 +127,9 @@ class FederatedTrainer:
             skipped.remove(forced)
             uploads.append(forced)
 
-        self.server.apply_round(uploads)
+        aggregate = self.server.apply_round(uploads)
+        if self.config.check_finite and aggregate is not None:
+            _ensure_finite(aggregate, f"aggregated delta of round {t}")
         self.ledger.record_round(
             [u.client_id for u in uploads], [s.client_id for s in skipped]
         )

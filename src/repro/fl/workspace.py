@@ -21,6 +21,8 @@ from repro.nn.serialization import (
     parameter_count,
 )
 
+__all__ = ["ModelWorkspace"]
+
 MetricFn = Callable[[np.ndarray, np.ndarray], float]
 
 

@@ -1,0 +1,92 @@
+"""Command-line front end: ``python -m repro.lint src/ [--format text|json]``.
+
+Exit status: 0 when no error-severity violation was found, 1 when at
+least one was (``--strict`` promotes warnings to failures too), 2 on
+usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.config import load_config
+from repro.lint.engine import Linter
+from repro.lint.reporting import format_json, format_text
+from repro.lint.rules import DEFAULT_RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based determinism/dtype/aliasing linter for the CMFL "
+            "reproduction"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        metavar="PYPROJECT_DIR",
+        help=(
+            "directory to search for pyproject.toml "
+            "(default: walk up from the first path)"
+        ),
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings as well as errors",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in DEFAULT_RULES:
+            scope = ", ".join(rule.default_paths) or "everywhere"
+            print(f"{rule.name:20s} [{scope}] {rule.description}")
+        return 0
+    paths: List[str] = list(args.paths) or ["src/repro"]
+    config_start = args.config if args.config is not None else Path(paths[0])
+    config = load_config(config_start)
+    linter = Linter(config=config)
+    try:
+        violations = linter.lint_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(format_json(violations))
+    else:
+        print(format_text(violations))
+    failing = [
+        v
+        for v in violations
+        if v.severity == "error" or args.strict or v.rule == "syntax-error"
+    ]
+    return 1 if failing else 0
+
+
+__all__ = ["build_parser", "main"]

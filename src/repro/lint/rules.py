@@ -1,0 +1,651 @@
+"""The repo-specific rules enforced by ``repro.lint``.
+
+Every rule is an :class:`~repro.lint.engine.LintRule` (an
+``ast.NodeVisitor``) instantiated per file.  Rules resolve imported
+names to canonical dotted paths (``np.random.normal`` ->
+``numpy.random.normal``) so aliases cannot dodge them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import LintRule
+
+__all__ = [
+    "AllExportsRule",
+    "ExplicitDtypeRule",
+    "NoGlobalRngRule",
+    "NoParamMutationRule",
+    "NoWallclockSeedRule",
+    "UnusedPureResultRule",
+    "dotted_parts",
+]
+
+#: numpy.random attributes that are part of the explicit-Generator API
+#: and therefore fine to touch (everything else is legacy global state).
+ALLOWED_NP_RANDOM = frozenset(
+    {
+        "Generator",
+        "default_rng",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Dtype-inferring constructors and how many positional arguments they
+#: need before the dtype has been given positionally.
+DTYPE_CONSTRUCTORS: Dict[str, int] = {
+    "zeros": 2,
+    "ones": 2,
+    "empty": 2,
+    "full": 3,
+}
+
+#: ndarray / container methods that mutate the receiver in place.
+MUTATING_METHODS = frozenset(
+    {
+        "sort",
+        "fill",
+        "resize",
+        "put",
+        "partition",
+        "setfield",
+        "setflags",
+        "itemset",
+        "byteswap",
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "clear",
+        "update",
+    }
+)
+
+#: Calls whose result is the only effect; discarding it is a bug.
+DEFAULT_PURE_FUNCTIONS = frozenset(
+    {
+        "relevance",
+        "relevance_per_segment",
+        "sign_agreement_counts",
+        "normalized_update_difference",
+        "threshold_at",
+        "encode",
+        "decode",
+    }
+)
+
+_WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+_SEEDISH = re.compile(r"seed|entropy|run_id|exp_id|experiment_id", re.IGNORECASE)
+_SEEDISH_CALLEES = frozenset({"default_rng", "SeedSequence", "RandomState"})
+
+
+def dotted_parts(node: ast.AST) -> Optional[List[str]]:
+    """``np.random.normal`` -> ``["np", "random", "normal"]`` (or None)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+class _AliasTrackingRule(LintRule):
+    """Shared canonical-name resolution over tracked module imports."""
+
+    #: Module paths worth remembering aliases for.
+    tracked_modules: Tuple[str, ...] = ()
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: local name -> canonical dotted path it refers to.
+        self._aliases: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in self.tracked_modules:
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                self._aliases[bound] = target
+            elif alias.name.split(".")[0] in self.tracked_modules:
+                # ``import numpy.random`` binds the root package name.
+                if alias.asname:
+                    self._aliases[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    self._aliases[root] = root
+        self.handle_import(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0 and node.module in self.tracked_modules:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                self._aliases[bound] = f"{node.module}.{alias.name}"
+        self.handle_import_from(node)
+
+    def handle_import(self, node: ast.Import) -> None:
+        """Hook for subclasses; default is a no-op."""
+
+    def handle_import_from(self, node: ast.ImportFrom) -> None:
+        """Hook for subclasses; default is a no-op."""
+
+    def canonical(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted path of an expression, if its base is a
+        tracked import; ``None`` otherwise."""
+        parts = dotted_parts(node)
+        if not parts:
+            return None
+        head = self._aliases.get(parts[0])
+        if head is None:
+            return None
+        return ".".join([head, *parts[1:]])
+
+
+class NoGlobalRngRule(_AliasTrackingRule):
+    """Forbid module-level RNG state (``np.random.*``, stdlib ``random``).
+
+    Deterministic reproduction requires every draw to come from an
+    explicit ``numpy.random.Generator`` (see ``repro.utils.rng``); any
+    call that touches numpy's or the stdlib's hidden global stream makes
+    runs order-dependent and irreproducible.
+    """
+
+    name = "no-global-rng"
+    description = (
+        "stochastic calls must route through explicit numpy Generators "
+        "(repro.utils.rng), never module-level RNG state"
+    )
+    tracked_modules = ("numpy", "numpy.random")
+
+    def handle_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self.report(
+                    node,
+                    "stdlib 'random' uses hidden global state; draw from "
+                    "an explicit numpy Generator (repro.utils.rng.ensure_rng)",
+                )
+
+    def handle_import_from(self, node: ast.ImportFrom) -> None:
+        if node.level != 0:
+            return
+        if node.module == "random":
+            self.report(
+                node,
+                "stdlib 'random' uses hidden global state; draw from "
+                "an explicit numpy Generator (repro.utils.rng.ensure_rng)",
+            )
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name != "*" and alias.name not in ALLOWED_NP_RANDOM:
+                    self.report(
+                        node,
+                        f"'numpy.random.{alias.name}' drives the legacy "
+                        "global RNG; use an explicit Generator instead",
+                    )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        canonical = self.canonical(node)
+        if canonical is not None and canonical.startswith("numpy.random"):
+            parts = canonical.split(".")
+            if len(parts) >= 3 and parts[2] not in ALLOWED_NP_RANDOM:
+                self.report(
+                    node,
+                    f"'{'.'.join(parts[:3])}' drives the legacy global "
+                    "RNG; route through repro.utils.rng.ensure_rng / "
+                    "child_rngs instead",
+                )
+            # A resolved numpy.random chain needs no deeper inspection.
+            return
+        self.generic_visit(node)
+
+
+class ExplicitDtypeRule(_AliasTrackingRule):
+    """Require an explicit ``dtype`` on dtype-inferring constructors.
+
+    ``np.zeros(n)`` silently commits to float64; mixing it with float32
+    model parameters flips sign-agreement statistics after the implicit
+    cast.  Hot-path code must say what it means.
+    """
+
+    name = "explicit-dtype"
+    description = (
+        "np.zeros/np.ones/np.empty/np.full in hot paths must pass an "
+        "explicit dtype"
+    )
+    default_paths = ("core/", "fl/", "nn/", "compress/")
+    tracked_modules = ("numpy",)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        canonical = self.canonical(node.func)
+        if canonical is not None:
+            parts = canonical.split(".")
+            if len(parts) == 2 and parts[0] == "numpy":
+                ctor = parts[1]
+                constructors = self.settings.option(
+                    "constructors", DTYPE_CONSTRUCTORS
+                )
+                if ctor in constructors and not self._has_dtype(
+                    node, int(constructors[ctor])
+                ):
+                    self.report(
+                        node,
+                        f"'{ast.unparse(node.func)}' without an explicit "
+                        "dtype silently commits to float64; pass dtype=...",
+                    )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _has_dtype(node: ast.Call, positional_slot: int) -> bool:
+        if len(node.args) >= positional_slot:
+            return True
+        for keyword in node.keywords:
+            if keyword.arg == "dtype" or keyword.arg is None:  # dtype= or **kw
+                return True
+        return False
+
+
+class NoParamMutationRule(LintRule):
+    """Forbid in-place mutation of function parameters.
+
+    In ``core/`` and the aggregation path, arrays received as arguments
+    frequently alias server-side state (``server.global_params``, the
+    feedback history); ``u += x`` or ``u[...] = x`` there corrupts state
+    across rounds in ways no local test catches.
+    """
+
+    name = "no-param-mutation"
+    description = (
+        "function parameters (potentially aliased ndarrays) must not be "
+        "mutated in place"
+    )
+    default_paths = ("core/", "fl/aggregation.py")
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Stack of (param names, name -> first-rebind line) per function.
+        self._scopes: List[Tuple[Set[str], Dict[str, int]]] = []
+
+    def _visit_function(self, node) -> None:
+        args = node.args
+        names = {
+            a.arg
+            for a in [
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+                *([args.vararg] if args.vararg else []),
+                *([args.kwarg] if args.kwarg else []),
+            ]
+        } - {"self", "cls"}
+        self._scopes.append((names, {}))
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def _is_live_param(self, name: str, lineno: int) -> bool:
+        """Is ``name`` a parameter not yet rebound above ``lineno``?"""
+        for params, rebinds in reversed(self._scopes):
+            if name in params:
+                first_rebind = rebinds.get(name)
+                return first_rebind is None or lineno <= first_rebind
+            if name in rebinds:
+                return False
+        return False
+
+    def _note_rebind(self, name: str, lineno: int) -> None:
+        if self._scopes:
+            rebinds = self._scopes[-1][1]
+            if name not in rebinds or lineno < rebinds[name]:
+                rebinds[name] = lineno
+
+    @staticmethod
+    def _base_name(node: ast.AST) -> Optional[str]:
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            node = node.value
+        return node.id if isinstance(node, ast.Name) else None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store_target(target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_store_target(node.target, node.lineno)
+        self.generic_visit(node)
+
+    def _check_store_target(self, target: ast.AST, lineno: int) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_store_target(element, lineno)
+            return
+        if isinstance(target, ast.Name):
+            self._note_rebind(target.id, lineno)
+            return
+        if isinstance(target, ast.Subscript):
+            base = self._base_name(target)
+            if base and self._is_live_param(base, lineno):
+                self.report(
+                    target,
+                    f"assignment into parameter '{base}' mutates a "
+                    "possibly aliased buffer; operate on a copy",
+                )
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        base = self._base_name(node.target)
+        if base and self._is_live_param(base, node.lineno):
+            self.report(
+                node,
+                f"augmented assignment mutates parameter '{base}' in "
+                "place; aliasing corrupts caller state — use "
+                f"'{base} = {base} <op> ...' on a copy",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in MUTATING_METHODS:
+            base = self._base_name(func.value)
+            if (
+                isinstance(func.value, ast.Name)
+                and base
+                and self._is_live_param(base, node.lineno)
+            ):
+                self.report(
+                    node,
+                    f"'.{func.attr}()' mutates parameter '{base}' in "
+                    "place; operate on a copy",
+                )
+        self.generic_visit(node)
+
+
+class NoWallclockSeedRule(_AliasTrackingRule):
+    """Forbid wall-clock time feeding seeds or experiment identifiers.
+
+    A seed derived from ``time.time()`` makes the run unreproducible by
+    construction.  Seeds must flow from the experiment's root seed via
+    ``repro.utils.rng.spawn_seed``.
+    """
+
+    name = "no-wallclock-seed"
+    description = (
+        "time.time()/datetime.now() must not feed seeds or experiment ids"
+    )
+    tracked_modules = ("time", "datetime", "datetime.datetime")
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._flagged: Set[int] = set()
+
+    def _wallclock_calls(self, node: ast.AST) -> Iterator[ast.Call]:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                canonical = self.canonical(sub.func)
+                if canonical in _WALLCLOCK_CALLS:
+                    yield sub
+
+    def _flag(self, call: ast.Call, context: str) -> None:
+        if id(call) in self._flagged:
+            return
+        self._flagged.add(id(call))
+        self.report(
+            call,
+            f"wall-clock call feeds {context}; derive it from the root "
+            "seed via repro.utils.rng.spawn_seed for reproducibility",
+        )
+
+    @staticmethod
+    def _target_names(target: ast.AST) -> Iterator[str]:
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Name):
+                yield sub.id
+            elif isinstance(sub, ast.Attribute):
+                yield sub.attr
+
+    def _check_assign(self, targets: Sequence[ast.AST], value: ast.AST) -> None:
+        names = [n for t in targets for n in self._target_names(t)]
+        seedish = [n for n in names if _SEEDISH.search(n)]
+        if not seedish:
+            return
+        for call in self._wallclock_calls(value):
+            self._flag(call, f"'{seedish[0]}'")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_assign(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_assign([node.target], node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_assign([node.target], node.value)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        callee = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else ""
+        )
+        if callee in _SEEDISH_CALLEES or (callee and _SEEDISH.search(callee)):
+            for arg in [*node.args, *[k.value for k in node.keywords]]:
+                for call in self._wallclock_calls(arg):
+                    self._flag(call, f"a '{callee}(...)' argument")
+        else:
+            for keyword in node.keywords:
+                if keyword.arg and _SEEDISH.search(keyword.arg):
+                    for call in self._wallclock_calls(keyword.value):
+                        self._flag(call, f"keyword '{keyword.arg}'")
+        self.generic_visit(node)
+
+
+class UnusedPureResultRule(LintRule):
+    """Flag discarded results of pure functions.
+
+    ``relevance(u, u_bar)`` (and the codec ``encode``/``decode`` pair)
+    have no side effects; a bare call statement is always a bug — the
+    author meant to use the value.
+    """
+
+    name = "unused-pure-result"
+    description = "discarding the result of a side-effect-free call is a bug"
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        value = node.value
+        if isinstance(value, ast.Call):
+            func = value.func
+            callee = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else None
+            )
+            pure = frozenset(
+                self.settings.option("functions", DEFAULT_PURE_FUNCTIONS)
+            )
+            if callee in pure:
+                self.report(
+                    node,
+                    f"result of pure function '{callee}' is discarded; "
+                    "assign or remove the call",
+                )
+        self.generic_visit(node)
+
+
+class AllExportsRule(LintRule):
+    """Every public module must define an accurate ``__all__``.
+
+    The export list is what the API-surface tests and downstream
+    ``import *`` consumers see; a missing or stale ``__all__`` silently
+    widens or narrows the public API.
+    """
+
+    name = "all-exports"
+    description = (
+        "public modules must define __all__ listing every public "
+        "def/class, with no undefined or duplicate entries"
+    )
+
+    def finish(self, tree: ast.Module) -> None:
+        module = self.ctx.module_name
+        if module.startswith("_") and module != "__init__":
+            return
+        statements = list(_iter_module_statements(tree.body))
+        all_node, all_names, dynamic = _find_all(statements)
+        if all_node is None:
+            self.report(
+                tree.body[0] if tree.body else tree,
+                "public module does not define __all__",
+            )
+            return
+        if all_names is None:
+            self.report(
+                all_node, "__all__ must be a literal list/tuple of strings"
+            )
+            return
+        seen: Set[str] = set()
+        for entry in all_names:
+            if entry in seen:
+                self.report(all_node, f"duplicate __all__ entry '{entry}'")
+            seen.add(entry)
+        bound = _module_bindings(statements)
+        for entry in seen:
+            if entry not in bound:
+                self.report(
+                    all_node,
+                    f"__all__ exports '{entry}' which is not defined in "
+                    "the module",
+                )
+        if dynamic:
+            return  # extended at runtime; completeness is unknowable
+        for stmt in statements:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ) and not stmt.name.startswith("_"):
+                if stmt.name not in seen:
+                    self.report(
+                        stmt,
+                        f"public name '{stmt.name}' is missing from "
+                        "__all__",
+                    )
+
+
+def _iter_module_statements(body: Iterable[ast.stmt]) -> Iterator[ast.stmt]:
+    """Module-level statements, descending into If/Try guards only."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, ast.If):
+            yield from _iter_module_statements(stmt.body)
+            yield from _iter_module_statements(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            for block in (stmt.body, stmt.orelse, stmt.finalbody):
+                yield from _iter_module_statements(block)
+            for handler in stmt.handlers:
+                yield from _iter_module_statements(handler.body)
+
+
+def _find_all(
+    statements: Sequence[ast.stmt],
+) -> Tuple[Optional[ast.stmt], Optional[List[str]], bool]:
+    """Locate ``__all__``: (node, literal names or None, extended?)."""
+    node: Optional[ast.stmt] = None
+    names: Optional[List[str]] = None
+    dynamic = False
+    for stmt in statements:
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in stmt.targets
+        ):
+            node = stmt
+            names = _literal_strings(stmt.value)
+        elif (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "__all__"
+            and stmt.value is not None
+        ):
+            node = stmt
+            names = _literal_strings(stmt.value)
+        elif (
+            isinstance(stmt, ast.AugAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "__all__"
+        ):
+            dynamic = True
+            if node is None:
+                node = stmt
+    return node, names, dynamic
+
+
+def _literal_strings(node: ast.AST) -> Optional[List[str]]:
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    out: List[str] = []
+    for element in node.elts:
+        if not (
+            isinstance(element, ast.Constant) and isinstance(element.value, str)
+        ):
+            return None
+        out.append(element.value)
+    return out
+
+
+def _module_bindings(statements: Sequence[ast.stmt]) -> Set[str]:
+    bound: Set[str] = set()
+    for stmt in statements:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        bound.add(sub.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            bound.add(stmt.target.id)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name != "*":
+                    bound.add(alias.asname or alias.name)
+    return bound
+
+
+DEFAULT_RULES: Tuple[type, ...] = (
+    NoGlobalRngRule,
+    ExplicitDtypeRule,
+    NoParamMutationRule,
+    NoWallclockSeedRule,
+    UnusedPureResultRule,
+    AllExportsRule,
+)

@@ -17,6 +17,8 @@ from repro.nn.layers.reshape import Flatten
 from repro.nn.module import Sequential
 from repro.utils.rng import RngLike, child_rngs
 
+__all__ = ["make_digits_cnn"]
+
 
 def make_digits_cnn(
     image_size: int = 28,

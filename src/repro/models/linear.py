@@ -6,6 +6,8 @@ from repro.nn.layers.dense import Dense
 from repro.nn.module import Sequential
 from repro.utils.rng import RngLike
 
+__all__ = ["make_logistic_regression"]
+
 
 def make_logistic_regression(
     n_features: int, rng: RngLike = None, zero_init: bool = False

@@ -14,6 +14,8 @@ from repro.nn.layers.recurrent import LSTM
 from repro.nn.module import Sequential
 from repro.utils.rng import RngLike, child_rngs
 
+__all__ = ["make_nwp_lstm"]
+
 
 def make_nwp_lstm(
     vocab_size: int,

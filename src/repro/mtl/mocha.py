@@ -42,6 +42,8 @@ from repro.mtl.relationship import relationship_matrix
 from repro.nn.activations import sigmoid
 from repro.utils.rng import RngLike, child_rngs
 
+__all__ = ["MTLConfig", "MochaTrainer"]
+
 FEEDBACK_MODES = ("mean", "relationship")
 
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 import numpy as np
 from scipy import linalg
 
+__all__ = ["inverse_relationship", "relationship_matrix", "task_similarity"]
+
 
 def relationship_matrix(weights: np.ndarray, ridge: float = 1e-3) -> np.ndarray:
     """Omega from the current task weights ``(n_features, n_tasks)``.

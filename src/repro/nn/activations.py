@@ -6,6 +6,8 @@ import numpy as np
 
 from repro.nn.module import Module
 
+__all__ = ["ReLU", "Sigmoid", "Tanh", "sigmoid", "softmax"]
+
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
     """Numerically stable logistic function."""

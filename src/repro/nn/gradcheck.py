@@ -13,6 +13,13 @@ import numpy as np
 from repro.nn.losses import Loss
 from repro.nn.module import Module
 
+__all__ = [
+    "check_input_gradient",
+    "check_module_gradients",
+    "max_relative_error",
+    "numerical_gradient",
+]
+
 
 def numerical_gradient(
     f: Callable[[], float], array: np.ndarray, eps: float = 1e-6

@@ -12,6 +12,15 @@ import numpy as np
 
 from repro.utils.rng import RngLike, ensure_rng
 
+__all__ = [
+    "get_initializer",
+    "glorot_uniform",
+    "he_normal",
+    "normal",
+    "orthogonal",
+    "zeros",
+]
+
 
 def _fans(shape: Sequence[int]) -> Tuple[int, int]:
     """(fan_in, fan_out) for dense and convolutional weight shapes."""

@@ -14,6 +14,8 @@ from repro.nn.module import Module
 from repro.nn.parameter import Parameter
 from repro.utils.rng import RngLike
 
+__all__ = ["Conv2D", "MaxPool2D", "col2im", "im2col"]
+
 
 def im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> Tuple[np.ndarray, int, int]:
     """Unfold sliding windows of ``x`` into columns.
@@ -83,7 +85,9 @@ class Conv2D(Module):
             init((out_channels, in_channels, kernel_size, kernel_size), rng),
             name=f"{name}.weight",
         )
-        self.bias = Parameter(np.zeros(out_channels), name=f"{name}.bias")
+        self.bias = Parameter(
+            np.zeros(out_channels, dtype=float), name=f"{name}.bias"
+        )
         self._cols: np.ndarray | None = None
         self._x_padded_shape: Tuple[int, int, int, int] | None = None
         self._out_hw: Tuple[int, int] | None = None

@@ -11,6 +11,8 @@ from repro.nn.module import Module
 from repro.nn.parameter import Parameter
 from repro.utils.rng import RngLike
 
+__all__ = ["Dense"]
+
 
 class Dense(Module):
     """Affine map ``y = x @ W + b`` over the last axis.
@@ -36,7 +38,7 @@ class Dense(Module):
             init((in_features, out_features), rng), name=f"{name}.weight"
         )
         self.bias = (
-            Parameter(np.zeros(out_features), name=f"{name}.bias")
+            Parameter(np.zeros(out_features, dtype=float), name=f"{name}.bias")
             if use_bias
             else None
         )

@@ -7,6 +7,8 @@ import numpy as np
 from repro.nn.module import Module
 from repro.utils.rng import RngLike, ensure_rng
 
+__all__ = ["Dropout"]
+
 
 class Dropout(Module):
     """Randomly zero activations during training, scaling survivors by 1/(1-p).

@@ -11,6 +11,8 @@ from repro.nn.module import Module
 from repro.nn.parameter import Parameter
 from repro.utils.rng import RngLike
 
+__all__ = ["Embedding"]
+
 
 class Embedding(Module):
     """Map integer token ids ``(batch, time)`` to vectors ``(batch, time, dim)``."""
@@ -50,4 +52,4 @@ class Embedding(Module):
         np.add.at(self.weight.grad, self._ids, grad_output)
         # Token ids are not differentiable; return a zero placeholder of
         # the input's shape for API uniformity.
-        return np.zeros(self._ids.shape)
+        return np.zeros(self._ids.shape, dtype=float)

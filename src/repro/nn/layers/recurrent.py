@@ -12,6 +12,8 @@ from repro.nn.module import Module
 from repro.nn.parameter import Parameter
 from repro.utils.rng import RngLike, child_rngs
 
+__all__ = ["LSTM"]
+
 
 class LSTM(Module):
     """A single LSTM layer over ``(batch, time, features)`` inputs.
@@ -45,7 +47,7 @@ class LSTM(Module):
             [orthogonal((h, h), rng_h) for _ in range(4)], axis=1
         )
         self.w_h = Parameter(recurrent, name=f"{name}.w_h")
-        bias = np.zeros(4 * h)
+        bias = np.zeros(4 * h, dtype=float)
         bias[h : 2 * h] = 1.0  # forget-gate bias
         self.bias = Parameter(bias, name=f"{name}.bias")
         self._cache: dict | None = None
@@ -61,9 +63,9 @@ class LSTM(Module):
             )
         n, t, _ = x.shape
         h = self.hidden_size
-        hs = np.zeros((t + 1, n, h))
-        cs = np.zeros((t + 1, n, h))
-        gates = np.zeros((t, n, 4 * h))
+        hs = np.zeros((t + 1, n, h), dtype=float)
+        cs = np.zeros((t + 1, n, h), dtype=float)
+        gates = np.zeros((t, n, 4 * h), dtype=float)
         for step in range(t):
             z = x[:, step, :] @ self.w_x.data + hs[step] @ self.w_h.data + self.bias.data
             i = sigmoid(z[:, :h])
@@ -99,12 +101,12 @@ class LSTM(Module):
                 raise ValueError(
                     f"expected gradient shape {(n, h)}, got {grad_output.shape}"
                 )
-            grad_h_seq = np.zeros((t, n, h))
+            grad_h_seq = np.zeros((t, n, h), dtype=float)
             grad_h_seq[-1] = grad_output
 
         dx = np.zeros_like(x)
-        dh_next = np.zeros((n, h))
-        dc_next = np.zeros((n, h))
+        dh_next = np.zeros((n, h), dtype=float)
+        dc_next = np.zeros((n, h), dtype=float)
         for step in range(t - 1, -1, -1):
             i = gates[step][:, :h]
             f = gates[step][:, h : 2 * h]

@@ -8,6 +8,8 @@ import numpy as np
 
 from repro.nn.module import Module
 
+__all__ = ["Flatten", "LastStep"]
+
 
 class Flatten(Module):
     """Collapse all axes but the batch axis: ``(N, ...) -> (N, prod(...))``."""
@@ -42,6 +44,6 @@ class LastStep(Module):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._in_shape is None:
             raise RuntimeError("backward called before forward")
-        grad = np.zeros(self._in_shape)
+        grad = np.zeros(self._in_shape, dtype=grad_output.dtype)
         grad[:, -1, :] = grad_output
         return grad

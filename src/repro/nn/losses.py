@@ -12,6 +12,13 @@ import numpy as np
 
 from repro.nn.activations import sigmoid, softmax
 
+__all__ = [
+    "Loss",
+    "MeanSquaredError",
+    "SigmoidBinaryCrossEntropy",
+    "SoftmaxCrossEntropy",
+]
+
 
 class Loss:
     """Base class: call ``forward`` then ``backward`` once per step."""

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+__all__ = ["accuracy", "binary_accuracy", "perplexity"]
+
 
 def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
     """Top-1 accuracy of ``(batch, classes)`` logits against integer labels."""

@@ -8,6 +8,8 @@ import numpy as np
 
 from repro.nn.parameter import Parameter
 
+__all__ = ["Module", "Sequential"]
+
 
 class Module:
     """Base class for all layers and models.

@@ -8,6 +8,8 @@ import numpy as np
 
 from repro.nn.parameter import Parameter
 
+__all__ = ["Adam", "Momentum", "Optimizer", "SGD"]
+
 
 class Optimizer:
     """Base optimizer: subclasses implement the per-parameter update rule.

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+__all__ = ["Parameter"]
+
 
 class Parameter:
     """A named trainable array together with its accumulated gradient.

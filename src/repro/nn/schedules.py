@@ -8,6 +8,8 @@ the paper's notation.
 
 from __future__ import annotations
 
+__all__ = ["ConstantLR", "InverseSqrtLR", "LRSchedule", "StepLR"]
+
 
 class LRSchedule:
     """Maps a 1-based iteration index to a learning rate."""

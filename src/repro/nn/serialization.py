@@ -12,6 +12,14 @@ import numpy as np
 
 from repro.nn.module import Module
 
+__all__ = [
+    "assign_flat_parameters",
+    "flatten_gradients",
+    "flatten_parameters",
+    "parameter_count",
+    "update_nbytes",
+]
+
 #: Bytes per parameter on the wire.  The paper's prototype ships float32
 #: weight matrices; training happens in float64 locally but transfers
 #: are accounted at 4 bytes/parameter.

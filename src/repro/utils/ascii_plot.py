@@ -11,6 +11,8 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
+__all__ = ["ascii_plot"]
+
 _MARKERS = "ox+*#@%&"
 
 

@@ -12,6 +12,8 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+__all__ = ["child_rngs", "ensure_rng", "spawn_seed"]
+
 RngLike = Union[None, int, np.random.Generator]
 
 

@@ -6,6 +6,8 @@ from typing import Sequence
 
 import numpy as np
 
+__all__ = ["moving_average", "running_max"]
+
 
 def moving_average(values: Sequence[float], window: int) -> np.ndarray:
     """Trailing moving average with a warm-up (partial windows at the start).

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from typing import Any, Iterable, List, Sequence
 
+__all__ = ["format_table"]
+
 
 def _cell(value: Any) -> str:
     if isinstance(value, float):

@@ -1,8 +1,52 @@
 """Small API-surface contracts: reprs, exports, package wiring."""
 
+import importlib
+import inspect
+import pkgutil
+
 import numpy as np
+import pytest
 
 import repro
+
+
+def _public_modules():
+    """Every importable public module under the ``repro`` package."""
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        leaf = info.name.rsplit(".", 1)[-1]
+        if not leaf.startswith("_"):
+            names.append(info.name)
+    return names
+
+
+@pytest.mark.parametrize("module_name", _public_modules())
+def test_module_exposes_correct_all(module_name):
+    """Runtime mirror of the ``all-exports`` lint rule: every public
+    module defines ``__all__``, every entry resolves, and every public
+    function/class defined in the module is listed."""
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__"), f"{module_name} has no __all__"
+    exported = module.__all__
+    assert len(set(exported)) == len(exported), (
+        f"{module_name}.__all__ has duplicates"
+    )
+    for name in exported:
+        assert hasattr(module, name), (
+            f"{module_name}.__all__ exports undefined name {name!r}"
+        )
+    defined_here = {
+        name
+        for name, obj in inspect.getmembers(
+            module,
+            lambda o: inspect.isclass(o) or inspect.isfunction(o),
+        )
+        if not name.startswith("_") and getattr(obj, "__module__", None) == module_name
+    }
+    missing = defined_here - set(exported)
+    assert not missing, (
+        f"{module_name}: public names missing from __all__: {sorted(missing)}"
+    )
 from repro.baselines import GaiaPartialPolicy, GaiaPolicy, VanillaPolicy
 from repro.fl import (
     GaussianMechanism,

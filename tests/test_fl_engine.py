@@ -310,3 +310,48 @@ class TestLedgerProperties:
             assert sum(ledger.rounds_per_iteration) == total_up
 
         check()
+
+
+class _PoisonedClient(FLClient):
+    """Returns a NaN-poisoned update from ``poison_round`` onwards."""
+
+    def __init__(self, *args, poison_round=2, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.poison_round = poison_round
+        self._round = 0
+
+    def compute_update(self, *args, **kwargs):
+        result = super().compute_update(*args, **kwargs)
+        self._round += 1
+        if self._round >= self.poison_round:
+            result.update[0] = np.nan
+        return result
+
+
+class TestCheckFinite:
+    """The FLConfig.check_finite runtime sanitizer."""
+
+    def test_clean_run_passes_with_guard_on(self):
+        trainer, _ = _binary_federation(VanillaPolicy(), check_finite=True)
+        history = trainer.run()
+        assert len(history) == 6
+
+    def test_poisoned_client_named_in_error(self):
+        trainer, _ = _binary_federation(VanillaPolicy(), check_finite=True)
+        bad = trainer.clients[2]
+        trainer.clients[2] = _PoisonedClient(
+            bad.client_id, bad.train_data, rng=0
+        )
+        with pytest.raises(FloatingPointError, match=r"client 2 in round 2"):
+            trainer.run()
+        # round 1 completed before the poison hit
+        assert len(trainer.history) == 1
+
+    def test_guard_off_by_default(self):
+        trainer, _ = _binary_federation(VanillaPolicy(), rounds=3)
+        bad = trainer.clients[2]
+        trainer.clients[2] = _PoisonedClient(
+            bad.client_id, bad.train_data, rng=0
+        )
+        trainer.run()  # silently propagates NaN -- the guard exists for this
+        assert np.isnan(trainer.server.global_params).any()

@@ -1,0 +1,442 @@
+"""Each repro.lint rule: firing and suppression paths."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, Linter
+from repro.lint.rules import (
+    AllExportsRule,
+    ExplicitDtypeRule,
+    NoGlobalRngRule,
+    NoParamMutationRule,
+    NoWallclockSeedRule,
+    UnusedPureResultRule,
+)
+
+
+def lint(source, rule, relpath="core/mod.py", config=None):
+    linter = Linter(config=config or LintConfig(), rules=[rule])
+    return linter.lint_source(
+        textwrap.dedent(source), Path("src/repro") / relpath
+    )
+
+
+def rules_fired(source, rule, **kwargs):
+    return [v.rule for v in lint(source, rule, **kwargs)]
+
+
+class TestNoGlobalRng:
+    def test_legacy_numpy_call_fires(self):
+        source = """\
+            import numpy as np
+            x = np.random.normal(size=3)
+        """
+        assert rules_fired(source, NoGlobalRngRule) == ["no-global-rng"]
+
+    def test_aliased_import_cannot_dodge(self):
+        source = """\
+            import numpy.random as npr
+            x = npr.rand(3)
+        """
+        assert rules_fired(source, NoGlobalRngRule) == ["no-global-rng"]
+
+    def test_from_numpy_import_random(self):
+        source = """\
+            from numpy import random as nr
+            x = nr.shuffle([1, 2])
+        """
+        assert rules_fired(source, NoGlobalRngRule) == ["no-global-rng"]
+
+    def test_stdlib_random_import_fires(self):
+        assert rules_fired("import random\n", NoGlobalRngRule) == [
+            "no-global-rng"
+        ]
+        assert rules_fired(
+            "from random import choice\n", NoGlobalRngRule
+        ) == ["no-global-rng"]
+
+    def test_from_numpy_random_import_legacy_fn(self):
+        assert rules_fired(
+            "from numpy.random import rand\n", NoGlobalRngRule
+        ) == ["no-global-rng"]
+
+    def test_generator_api_allowed(self):
+        source = """\
+            import numpy as np
+            from numpy.random import default_rng
+
+            gen = np.random.default_rng(0)
+            seq = np.random.SeedSequence(1)
+            kind = np.random.Generator
+            other = default_rng(2)
+            y = gen.normal(size=3)
+        """
+        assert rules_fired(source, NoGlobalRngRule) == []
+
+    def test_unrelated_attribute_chains_ignored(self):
+        source = """\
+            class Box:
+                random = 1
+
+            b = Box()
+            x = b.random
+        """
+        assert rules_fired(source, NoGlobalRngRule) == []
+
+    def test_suppression(self):
+        source = """\
+            import numpy as np
+            x = np.random.normal()  # repro-lint: disable=no-global-rng
+        """
+        assert rules_fired(source, NoGlobalRngRule) == []
+
+
+class TestExplicitDtype:
+    def test_dtype_less_constructors_fire(self):
+        source = """\
+            import numpy as np
+            a = np.zeros(3)
+            b = np.ones((2, 2))
+            c = np.empty(4)
+            d = np.full((2, 2), 7)
+        """
+        assert rules_fired(source, ExplicitDtypeRule) == ["explicit-dtype"] * 4
+
+    def test_dtype_keyword_ok(self):
+        source = """\
+            import numpy as np
+            a = np.zeros(3, dtype=float)
+            b = np.full((2, 2), 7, dtype=np.float32)
+        """
+        assert rules_fired(source, ExplicitDtypeRule) == []
+
+    def test_positional_dtype_ok(self):
+        source = """\
+            import numpy as np
+            a = np.zeros(3, float)
+            b = np.full((2, 2), 7.0, float)
+        """
+        assert rules_fired(source, ExplicitDtypeRule) == []
+
+    def test_outside_hot_paths_not_flagged(self):
+        source = """\
+            import numpy as np
+            a = np.zeros(3)
+        """
+        assert rules_fired(source, ExplicitDtypeRule, relpath="data/a.py") == []
+
+    def test_zeros_like_not_flagged(self):
+        source = """\
+            import numpy as np
+            a = np.zeros_like([1.0, 2.0])
+        """
+        assert rules_fired(source, ExplicitDtypeRule) == []
+
+    def test_suppression(self):
+        source = """\
+            import numpy as np
+            a = np.zeros(3)  # repro-lint: disable=explicit-dtype
+        """
+        assert rules_fired(source, ExplicitDtypeRule) == []
+
+
+class TestNoParamMutation:
+    def test_augmented_assignment_fires(self):
+        source = """\
+            def f(u):
+                u += 1
+                return u
+        """
+        assert rules_fired(source, NoParamMutationRule) == ["no-param-mutation"]
+
+    def test_subscript_assignment_fires(self):
+        source = """\
+            def f(u):
+                u[0] = 3.0
+                return u
+        """
+        assert rules_fired(source, NoParamMutationRule) == ["no-param-mutation"]
+
+    def test_slice_augassign_fires(self):
+        source = """\
+            def f(u):
+                u[1:] *= 2.0
+        """
+        assert rules_fired(source, NoParamMutationRule) == ["no-param-mutation"]
+
+    def test_mutating_method_fires(self):
+        source = """\
+            def f(u):
+                u.sort()
+        """
+        assert rules_fired(source, NoParamMutationRule) == ["no-param-mutation"]
+
+    def test_rebound_parameter_not_flagged(self):
+        source = """\
+            def f(u):
+                u = u.copy()
+                u += 1
+                return u
+        """
+        assert rules_fired(source, NoParamMutationRule) == []
+
+    def test_locals_and_self_not_flagged(self):
+        source = """\
+            class A:
+                def f(self, n):
+                    self.total += n
+                    buf = [0] * n
+                    buf[0] = 1
+                    buf.sort()
+                    return buf
+        """
+        assert rules_fired(source, NoParamMutationRule) == []
+
+    def test_nested_function_sees_outer_params(self):
+        source = """\
+            def outer(u):
+                def inner():
+                    u[0] = 1.0
+                return inner
+        """
+        assert rules_fired(source, NoParamMutationRule) == ["no-param-mutation"]
+
+    def test_out_of_scope_path_not_flagged(self):
+        source = """\
+            def f(u):
+                u += 1
+        """
+        assert (
+            rules_fired(source, NoParamMutationRule, relpath="fl/trainer.py")
+            == []
+        )
+
+    def test_suppression(self):
+        source = """\
+            def f(u):
+                u += 1  # repro-lint: disable=no-param-mutation
+        """
+        assert rules_fired(source, NoParamMutationRule) == []
+
+
+class TestNoWallclockSeed:
+    def test_seed_assignment_fires(self):
+        source = """\
+            import time
+            seed = int(time.time())
+        """
+        assert rules_fired(source, NoWallclockSeedRule) == ["no-wallclock-seed"]
+
+    def test_default_rng_argument_fires(self):
+        source = """\
+            import time
+            import numpy as np
+            gen = np.random.default_rng(int(time.time()))
+        """
+        assert rules_fired(source, NoWallclockSeedRule) == ["no-wallclock-seed"]
+
+    def test_seed_keyword_fires(self):
+        source = """\
+            import time
+
+            def run(seed=None):
+                pass
+
+            run(seed=time.time_ns())
+        """
+        assert rules_fired(source, NoWallclockSeedRule) == ["no-wallclock-seed"]
+
+    def test_datetime_experiment_id_fires(self):
+        source = """\
+            from datetime import datetime
+            run_id = datetime.now().strftime("%s")
+        """
+        assert rules_fired(source, NoWallclockSeedRule) == ["no-wallclock-seed"]
+
+    def test_benign_timing_not_flagged(self):
+        source = """\
+            import time
+            start = time.time()
+            elapsed = time.time() - start
+        """
+        assert rules_fired(source, NoWallclockSeedRule) == []
+
+    def test_perf_counter_not_flagged(self):
+        source = """\
+            import time
+            seed_timer = time.perf_counter()
+        """
+        assert rules_fired(source, NoWallclockSeedRule) == []
+
+    def test_suppression(self):
+        source = """\
+            import time
+            seed = int(time.time())  # repro-lint: disable=no-wallclock-seed
+        """
+        assert rules_fired(source, NoWallclockSeedRule) == []
+
+
+class TestUnusedPureResult:
+    def test_bare_call_statement_fires(self):
+        source = """\
+            from repro.core.relevance import relevance
+            relevance([1.0], [1.0])
+        """
+        assert rules_fired(source, UnusedPureResultRule) == [
+            "unused-pure-result"
+        ]
+
+    def test_method_call_fires(self):
+        source = """\
+            codec.encode(update)
+        """
+        assert rules_fired(source, UnusedPureResultRule) == [
+            "unused-pure-result"
+        ]
+
+    def test_used_result_not_flagged(self):
+        source = """\
+            from repro.core.relevance import relevance
+            score = relevance([1.0], [1.0])
+            scores = [relevance([1.0], [x]) for x in (1.0, -1.0)]
+        """
+        assert rules_fired(source, UnusedPureResultRule) == []
+
+    def test_impure_call_statement_not_flagged(self):
+        source = """\
+            print("hello")
+            items.append(3)
+        """
+        assert rules_fired(source, UnusedPureResultRule) == []
+
+    def test_suppression(self):
+        source = """\
+            from repro.core.relevance import relevance
+            relevance([1.0], [1.0])  # repro-lint: disable=unused-pure-result
+        """
+        assert rules_fired(source, UnusedPureResultRule) == []
+
+
+class TestAllExports:
+    def test_missing_all_fires(self):
+        source = """\
+            def public():
+                return 1
+        """
+        assert rules_fired(source, AllExportsRule) == ["all-exports"]
+
+    def test_complete_all_passes(self):
+        source = """\
+            __all__ = ["CONST", "Public", "public"]
+
+            CONST = 3
+
+            def public():
+                return 1
+
+            class Public:
+                pass
+
+            def _private():
+                return 2
+        """
+        assert rules_fired(source, AllExportsRule) == []
+
+    def test_public_def_missing_from_all_fires(self):
+        source = """\
+            __all__ = ["a"]
+
+            def a():
+                pass
+
+            def b():
+                pass
+        """
+        (v,) = lint(source, AllExportsRule)
+        assert "'b'" in v.message
+
+    def test_undefined_export_fires(self):
+        source = """\
+            __all__ = ["ghost"]
+        """
+        (v,) = lint(source, AllExportsRule)
+        assert "ghost" in v.message
+
+    def test_duplicate_entry_fires(self):
+        source = """\
+            __all__ = ["a", "a"]
+
+            def a():
+                pass
+        """
+        (v,) = lint(source, AllExportsRule)
+        assert "duplicate" in v.message
+
+    def test_non_literal_all_fires(self):
+        source = """\
+            names = ["a"]
+            __all__ = names
+        """
+        (v,) = lint(source, AllExportsRule)
+        assert "literal" in v.message
+
+    def test_dynamic_extension_skips_completeness(self):
+        source = """\
+            __all__ = ["a"]
+            __all__ += extra_names
+
+            def a():
+                pass
+
+            def b():
+                pass
+        """
+        assert rules_fired(source, AllExportsRule) == []
+
+    def test_private_module_skipped(self):
+        assert (
+            rules_fired("def f():\n    pass\n", AllExportsRule,
+                        relpath="core/_private.py")
+            == []
+        )
+
+    def test_conditional_bindings_count(self):
+        source = """\
+            __all__ = ["tomllib"]
+
+            try:
+                import tomllib
+            except ImportError:
+                tomllib = None
+        """
+        assert rules_fired(source, AllExportsRule) == []
+
+    def test_file_level_suppression(self):
+        source = """\
+            # repro-lint: disable-file=all-exports
+            def public():
+                pass
+        """
+        assert rules_fired(source, AllExportsRule) == []
+
+
+class TestAgainstRealTree:
+    """The shipped tree is the ultimate fixture: rules run clean on it."""
+
+    @pytest.mark.parametrize(
+        "rule",
+        [
+            NoGlobalRngRule,
+            ExplicitDtypeRule,
+            NoParamMutationRule,
+            NoWallclockSeedRule,
+            UnusedPureResultRule,
+            AllExportsRule,
+        ],
+    )
+    def test_rule_clean_on_core(self, rule):
+        root = Path(__file__).resolve().parent.parent / "src" / "repro" / "core"
+        linter = Linter(rules=[rule])
+        assert linter.lint_paths([str(root)]) == []

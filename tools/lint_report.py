@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Emit a JSON rule-hit summary of ``repro.lint`` for BENCH tracking.
+
+Usage::
+
+    PYTHONPATH=src python tools/lint_report.py [paths...] [-o report.json]
+
+The payload records, per rule, how many diagnostics fired and in how
+many distinct files, plus the scanned-file count — a longitudinal
+signal for how clean the tree stays as it grows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lint import Linter, load_config  # noqa: E402
+from repro.lint.reporting import summarize  # noqa: E402
+from repro.lint.rules import DEFAULT_RULES  # noqa: E402
+
+
+def build_report(paths: list[str]) -> dict:
+    config = load_config(REPO_ROOT)
+    linter = Linter(config=config)
+    files = list(linter.iter_files(paths))
+    violations = linter.lint_paths(paths)
+    files_by_rule: dict[str, set] = defaultdict(set)
+    for violation in violations:
+        files_by_rule[violation.rule].add(violation.path)
+    return {
+        "paths": paths,
+        "files_scanned": len(files),
+        "rules": [
+            {
+                "name": rule.name,
+                "hits": sum(1 for v in violations if v.rule == rule.name),
+                "files": len(files_by_rule.get(rule.name, ())),
+                "severity": linter.settings_for(rule).severity,
+            }
+            for rule in DEFAULT_RULES
+        ],
+        "summary": summarize(violations),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths", nargs="*", default=[str(REPO_ROOT / "src" / "repro")]
+    )
+    parser.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="write the JSON here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+    report = build_report(list(args.paths))
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        args.output.write_text(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
