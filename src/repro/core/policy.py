@@ -9,8 +9,8 @@ Gaia live in :mod:`repro.baselines` behind the same interface.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -27,12 +27,35 @@ class PolicyContext:
     ``iteration`` is the 1-based federated round; ``global_params`` the
     model the update was computed against; ``global_update_estimate``
     the feedback u_bar_{t-1} the server broadcast with it.
+
+    The trainer builds one context per round and derives the per-client
+    views with :meth:`for_client`; all views share ``_round_cache``, so
+    round-constant derived quantities (currently the feedback sign
+    vector) are computed once per round instead of once per client.
     """
 
     iteration: int
     global_params: np.ndarray
     global_update_estimate: np.ndarray
     client_id: int = -1
+    _round_cache: Dict[str, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    @property
+    def feedback_sign(self) -> np.ndarray:
+        """``np.sign(global_update_estimate)``, cached for the round."""
+        sign = self._round_cache.get("feedback_sign")
+        if sign is None:
+            sign = np.sign(
+                np.asarray(self.global_update_estimate, dtype=float).reshape(-1)
+            )
+            self._round_cache["feedback_sign"] = sign
+        return sign
+
+    def for_client(self, client_id: int) -> "PolicyContext":
+        """A view of this round's context for one client (shared cache)."""
+        return replace(self, client_id=client_id)
 
 
 @dataclass(frozen=True)
@@ -74,7 +97,9 @@ class CMFLPolicy(UploadPolicy):
         self.threshold = threshold
 
     def decide(self, update: np.ndarray, ctx: PolicyContext) -> UploadDecision:
-        score = relevance(update, ctx.global_update_estimate)
+        score = relevance(
+            update, ctx.global_update_estimate, u_bar_sign=ctx.feedback_sign
+        )
         v_t = min(1.0, self.threshold(ctx.iteration))
         return UploadDecision(upload=score >= v_t, score=score, threshold=v_t)
 

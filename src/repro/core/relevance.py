@@ -14,7 +14,7 @@ magnitude-based significance).
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -22,38 +22,67 @@ __all__ = ["relevance", "relevance_per_segment", "sign_agreement_counts"]
 
 
 def sign_agreement_counts(
-    u: np.ndarray, u_bar: np.ndarray
+    u: np.ndarray, u_bar: np.ndarray, u_bar_sign: Optional[np.ndarray] = None
 ) -> Tuple[int, int]:
     """(number of same-sign parameters, total parameters).
 
     ``np.sign`` maps to {-1, 0, +1}; two exact zeros count as agreeing,
     matching the indicator in Eq. (9).
+
+    ``u_bar_sign``, when given, must be ``np.sign(u_bar)`` computed in
+    advance; ``u_bar`` is then not consulted.  The trainer scores every
+    client of a round against the same feedback vector, so this fast
+    path turns n_clients sign computations per round into one (see
+    :attr:`repro.core.policy.PolicyContext.feedback_sign`).
     """
     u = np.asarray(u, dtype=float).reshape(-1)
-    u_bar = np.asarray(u_bar, dtype=float).reshape(-1)
-    if u.shape != u_bar.shape:
-        raise ValueError(
-            f"update shapes differ: {u.shape} vs {u_bar.shape}"
-        )
+    if u_bar_sign is None:
+        u_bar = np.asarray(u_bar, dtype=float).reshape(-1)
+        if u.shape != u_bar.shape:
+            raise ValueError(
+                f"update shapes differ: {u.shape} vs {u_bar.shape}"
+            )
+        u_bar_sign = np.sign(u_bar)
+    else:
+        u_bar_sign = np.asarray(u_bar_sign, dtype=float).reshape(-1)
+        if u.shape != u_bar_sign.shape:
+            raise ValueError(
+                f"update shapes differ: {u.shape} vs {u_bar_sign.shape}"
+            )
     if u.size == 0:
         raise ValueError("updates cannot be empty")
-    agree = int(np.count_nonzero(np.sign(u) == np.sign(u_bar)))
+    agree = int(np.count_nonzero(np.sign(u) == u_bar_sign))
     return agree, int(u.size)
 
 
-def relevance(u: np.ndarray, u_bar: np.ndarray) -> float:
+def relevance(
+    u: np.ndarray,
+    u_bar: np.ndarray,
+    u_bar_sign: Optional[np.ndarray] = None,
+) -> float:
     """e(u, u_bar) in [0, 1]; 1 means perfectly aligned with the federation.
 
     When the feedback ``u_bar`` is identically zero (the very first
     iteration, before any global update exists), there is no tendency to
     compare against and every update is defined to be fully relevant
     (returns 1.0), so round 1 behaves like vanilla FL.
+
+    ``u_bar_sign`` is the optional precomputed ``np.sign(u_bar)``; a
+    sign vector is zero exactly where the feedback is zero, so the
+    zero-feedback rule is decided from it alone on the fast path.
     """
-    u_bar_arr = np.asarray(u_bar, dtype=float)
-    if not np.any(u_bar_arr):
-        np.asarray(u, dtype=float)  # still validate the partner argument
-        return 1.0
-    agree, total = sign_agreement_counts(u, u_bar_arr)
+    if u_bar_sign is None:
+        u_bar_arr = np.asarray(u_bar, dtype=float)
+        if not np.any(u_bar_arr):
+            np.asarray(u, dtype=float)  # still validate the partner argument
+            return 1.0
+        agree, total = sign_agreement_counts(u, u_bar_arr)
+    else:
+        sign = np.asarray(u_bar_sign, dtype=float).reshape(-1)
+        if not np.any(sign):
+            np.asarray(u, dtype=float)  # still validate the partner argument
+            return 1.0
+        agree, total = sign_agreement_counts(u, u_bar, u_bar_sign=sign)
     return agree / total
 
 

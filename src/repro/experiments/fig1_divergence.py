@@ -21,6 +21,7 @@ from repro.analysis.cdf import empirical_cdf, fraction_below
 from repro.analysis.divergence import normalized_model_divergence
 from repro.baselines.vanilla import VanillaPolicy
 from repro.experiments.workloads import DigitsWorkload, NWPWorkload, resolve_scale
+from repro.fl.executor import RoundPlan
 from repro.fl.trainer import FederatedTrainer
 from repro.utils.tables import format_table
 
@@ -41,18 +42,19 @@ def measure_divergence(trainer: FederatedTrainer, warmup_rounds: int) -> np.ndar
         trainer.run(warmup_rounds)
     global_params = trainer.server.global_params.copy()
     lr = trainer.config.lr(max(len(trainer.history), 1))
-    client_params = []
-    for client in trainer.clients:
-        # The paper measures fully locally-trained client models, so the
-        # probe runs several times the per-round local epochs.
-        result = client.compute_update(
-            trainer.workspace,
-            global_params,
-            lr=lr,
-            local_epochs=4 * trainer.config.local_epochs,
-            batch_size=trainer.config.batch_size,
-        )
-        client_params.append(global_params + result.update)
+    # The paper measures fully locally-trained client models, so the
+    # probe runs several times the per-round local epochs.  It fans out
+    # through the trainer's executor like a regular round, so the probe
+    # parallelises under the thread/process backends too.
+    plan = RoundPlan(
+        iteration=max(len(trainer.history), 1),
+        lr=lr,
+        local_epochs=4 * trainer.config.local_epochs,
+        batch_size=trainer.config.batch_size,
+        global_params=global_params,
+    )
+    results = trainer.executor.run_round(plan, trainer.clients)
+    client_params = [global_params + r.update for r in results]
     return normalized_model_divergence(client_params, global_params)
 
 

@@ -1,0 +1,306 @@
+"""Round-throughput timing: the machine-readable perf baseline.
+
+Times the federated round hot path (the compute fan-out plus the
+ordered decide/aggregate reduction) under each execution backend of
+:mod:`repro.fl.executor` on two workloads:
+
+* ``digits_cnn`` — the paper's digit-CNN federation at bench scale
+  (compute-heavy clients; where the process backend pays off), and
+* ``linear`` — a logistic-regression federation (tiny per-client
+  steps; an upper bound on per-task engine overhead).
+
+``run_timing`` returns a JSON-ready payload recording, per backend,
+wall-clock sec/round, clients/sec and the speedup over serial, plus a
+history digest proving the backends produced bitwise-identical runs.
+``tools/bench_timing.py`` writes it to ``BENCH_timing.json`` at the
+repo root and ``tools/bench_compare.py`` diffs two such baselines.
+
+A micro section times the ``im2col`` unfold with and without a trailing
+``np.ascontiguousarray`` — the measurement behind dropping that call
+(see :func:`repro.nn.layers.conv.im2col`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+from pathlib import Path
+from time import perf_counter
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.core.policy import CMFLPolicy
+from repro.core.thresholds import InverseSqrtThreshold
+from repro.data.dataset import Dataset
+from repro.data.partition import iid_partition
+from repro.experiments.workloads import DigitsWorkload
+from repro.fl.client import FLClient
+from repro.fl.config import EXECUTOR_BACKENDS, FLConfig
+from repro.fl.trainer import FederatedTrainer
+from repro.fl.workspace import ModelWorkspace
+from repro.models.linear import make_logistic_regression
+from repro.nn.layers.conv import im2col
+from repro.nn.losses import SigmoidBinaryCrossEntropy
+from repro.nn.optimizers import SGD
+from repro.nn.schedules import ConstantLR
+from repro.utils.rng import child_rngs
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "DEFAULT_BACKENDS",
+    "TIMING_WORKLOADS",
+    "format_report",
+    "history_digest",
+    "make_digits_timing_trainer",
+    "make_linear_timing_trainer",
+    "run_timing",
+    "time_backend",
+    "time_im2col",
+    "write_baseline",
+]
+
+BENCH_SCHEMA = "repro-bench-timing/v1"
+
+DEFAULT_BACKENDS = EXECUTOR_BACKENDS
+
+#: Never evaluate during timed rounds: evaluation runs on the parent
+#: workspace identically under every backend and would only blur the
+#: per-round compute signal.
+_NO_EVAL = 10**9
+
+_TIMING_SEED = 23
+
+
+def make_digits_timing_trainer(
+    backend: str = "serial", workers: int = 0
+) -> FederatedTrainer:
+    """The digit-CNN federation at bench scale (30 clients), CMFL policy."""
+    workload = DigitsWorkload(scale="bench")
+    return workload.make_trainer(
+        CMFLPolicy(InverseSqrtThreshold(0.8)),
+        executor=backend,
+        executor_workers=workers,
+        eval_every=_NO_EVAL,
+    )
+
+
+def make_linear_timing_trainer(
+    backend: str = "serial", workers: int = 0
+) -> FederatedTrainer:
+    """A 30-client logistic-regression federation with tiny local steps."""
+    n_clients, n_features, per_client = 30, 64, 80
+    rngs = child_rngs(_TIMING_SEED, n_clients + 3)
+    w_true = rngs[0].normal(size=n_features)
+    x = rngs[1].normal(size=(n_clients * per_client, n_features))
+    y = (x @ w_true > 0).astype(np.int64)
+    data = Dataset(x, y)
+    model = make_logistic_regression(n_features, rng=rngs[2])
+    workspace = ModelWorkspace(
+        model, SigmoidBinaryCrossEntropy(), SGD(model.parameters(), 0.3)
+    )
+    parts = iid_partition(len(data), n_clients, rng=_TIMING_SEED)
+    clients = [
+        FLClient(i, data.subset(p), rng=rngs[3 + i])
+        for i, p in enumerate(parts)
+    ]
+    config = FLConfig(
+        rounds=100,
+        local_epochs=2,
+        batch_size=8,
+        lr=ConstantLR(0.3),
+        eval_every=_NO_EVAL,
+        executor=backend,
+        executor_workers=workers,
+    )
+    return FederatedTrainer(
+        workspace, clients, CMFLPolicy(InverseSqrtThreshold(0.8)), config
+    )
+
+
+TIMING_WORKLOADS: Dict[str, Callable[[str, int], FederatedTrainer]] = {
+    "digits_cnn": make_digits_timing_trainer,
+    "linear": make_linear_timing_trainer,
+}
+
+
+def history_digest(trainer: FederatedTrainer) -> str:
+    """SHA-256 over everything a backend could perturb.
+
+    Covers per-round losses, scores, upload decisions and the final
+    global parameter bytes; equal digests mean bitwise-equal runs.
+    """
+    h = hashlib.sha256()
+    for r in trainer.history:
+        h.update(np.float64(r.mean_train_loss).tobytes())
+        h.update(np.float64(r.mean_score).tobytes())
+        h.update(np.asarray(r.uploaded_ids, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(trainer.server.global_params).tobytes())
+    return h.hexdigest()
+
+
+def time_backend(
+    workload: str,
+    backend: str,
+    workers: int = 0,
+    rounds: int = 3,
+    warmup: int = 1,
+) -> Dict[str, object]:
+    """Time ``rounds`` rounds of ``workload`` under ``backend``.
+
+    ``warmup`` untimed rounds absorb one-time costs (worker-pool
+    startup, replica builds) so sec/round reflects the steady state.
+    """
+    if workload not in TIMING_WORKLOADS:
+        raise ValueError(
+            f"unknown workload {workload!r}; choices: "
+            f"{tuple(TIMING_WORKLOADS)}"
+        )
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    trainer = TIMING_WORKLOADS[workload](backend, workers)
+    try:
+        if warmup > 0:
+            trainer.run(warmup)
+        start = perf_counter()
+        trainer.run(rounds)
+        elapsed = perf_counter() - start
+        digest = history_digest(trainer)
+    finally:
+        trainer.close()
+    sec_per_round = elapsed / rounds
+    n_clients = len(trainer.clients)
+    return {
+        "backend": backend,
+        "workers_requested": workers,
+        "rounds_timed": rounds,
+        "n_clients": n_clients,
+        "n_params": trainer.workspace.n_params,
+        "sec_per_round": sec_per_round,
+        "clients_per_sec": n_clients / sec_per_round,
+        "history_digest": digest,
+    }
+
+
+def time_im2col(reps: int = 200) -> Dict[str, object]:
+    """Measure the im2col unfold with vs without ``ascontiguousarray``.
+
+    The unfold reshapes a transposed strided window view, which NumPy
+    must materialise as a fresh C-contiguous array whenever the kernel
+    covers more than one element — so the historical trailing
+    ``np.ascontiguousarray`` was a no-op copy check.  This measurement
+    (recorded in ``BENCH_timing.json``) backs the decision to drop it.
+    """
+    rng = np.random.default_rng(_TIMING_SEED)
+    # The digits-CNN first-layer shape at bench scale.
+    x = rng.normal(size=(32, 4, 20, 20))
+    kh = kw = 5
+
+    def _strided(arr):
+        return im2col(arr, kh, kw, 1)[0]
+
+    def _ascontiguous(arr):
+        return np.ascontiguousarray(im2col(arr, kh, kw, 1)[0])
+
+    variants = (("strided_view", _strided), ("ascontiguousarray", _ascontiguous))
+    totals = {name: 0.0 for name, _ in variants}
+    for _, fn in variants:
+        fn(x)  # warm the allocator
+    # Interleave the variants so cache/CPU state biases neither side.
+    for _ in range(reps):
+        for name, fn in variants:
+            start = perf_counter()
+            fn(x)
+            totals[name] += perf_counter() - start
+    timings = {name: totals[name] / reps * 1e3 for name in totals}
+    cols = _strided(x)
+    return {
+        "input_shape": list(x.shape),
+        "kernel": [kh, kw],
+        "reps": reps,
+        "strided_view_ms": timings["strided_view"],
+        "ascontiguousarray_ms": timings["ascontiguousarray"],
+        "result_is_contiguous": bool(cols.flags["C_CONTIGUOUS"]),
+        "kept": "strided_view",
+    }
+
+
+def run_timing(
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    workers: int = 4,
+    rounds: int = 3,
+    warmup: int = 1,
+    workloads: Sequence[str] = ("digits_cnn", "linear"),
+) -> Dict[str, object]:
+    """The full timing sweep: every backend on every workload."""
+    payload: Dict[str, object] = {
+        "schema": BENCH_SCHEMA,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "config": {
+            "workers": workers,
+            "rounds_timed": rounds,
+            "warmup_rounds": warmup,
+            "backends": list(backends),
+        },
+        "workloads": {},
+        "micro": {"im2col": time_im2col()},
+    }
+    for workload in workloads:
+        per_backend: Dict[str, object] = {}
+        for backend in backends:
+            per_backend[backend] = time_backend(
+                workload, backend, workers=workers, rounds=rounds, warmup=warmup
+            )
+        serial = per_backend.get("serial")
+        for entry in per_backend.values():
+            entry["speedup_vs_serial"] = (
+                serial["sec_per_round"] / entry["sec_per_round"]
+                if serial is not None
+                else None
+            )
+        digests = {e["history_digest"] for e in per_backend.values()}
+        payload["workloads"][workload] = {
+            "backends": per_backend,
+            "identical_histories": len(digests) == 1,
+        }
+    return payload
+
+
+def write_baseline(payload: Dict[str, object], path: Path) -> None:
+    """Persist a timing payload as pretty, diff-stable JSON."""
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def format_report(payload: Dict[str, object]) -> str:
+    """Human-readable table of a timing payload (for the bench report)."""
+    lines = [
+        f"round-throughput timing (workers={payload['config']['workers']}, "
+        f"cpus={payload['host']['cpu_count']})",
+        "",
+        f"{'workload':<12} {'backend':<8} {'sec/round':>10} "
+        f"{'clients/s':>10} {'speedup':>8}  identical",
+    ]
+    for workload, data in payload["workloads"].items():
+        for backend, entry in data["backends"].items():
+            speedup = entry["speedup_vs_serial"]
+            lines.append(
+                f"{workload:<12} {backend:<8} "
+                f"{entry['sec_per_round']:>10.4f} "
+                f"{entry['clients_per_sec']:>10.2f} "
+                f"{speedup:>7.2f}x  {data['identical_histories']}"
+            )
+    micro = payload["micro"]["im2col"]
+    lines += [
+        "",
+        "im2col unfold (per call): "
+        f"strided_view {micro['strided_view_ms']:.3f} ms vs "
+        f"ascontiguousarray {micro['ascontiguousarray_ms']:.3f} ms "
+        f"-> kept {micro['kept']}",
+    ]
+    return "\n".join(lines)

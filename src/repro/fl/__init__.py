@@ -8,9 +8,19 @@ and byte accounting happen inline so every experiment reads its metrics
 from the run history.
 """
 
-from repro.fl.config import FLConfig
+from repro.fl.config import EXECUTOR_BACKENDS, FLConfig
 from repro.fl.workspace import ModelWorkspace
 from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.executor import (
+    ClientExecutionError,
+    ClientExecutor,
+    ProcessExecutor,
+    RoundPlan,
+    SerialExecutor,
+    ThreadExecutor,
+    WorkspaceSpec,
+    make_executor,
+)
 from repro.fl.server import FLServer
 from repro.fl.aggregation import mean_aggregate, weighted_mean_aggregate
 from repro.fl.accounting import CommunicationLedger
@@ -21,8 +31,17 @@ from repro.fl.secure import SecureAggregator
 from repro.fl.trainer import FederatedTrainer
 
 __all__ = [
+    "EXECUTOR_BACKENDS",
     "FLConfig",
     "ModelWorkspace",
+    "ClientExecutionError",
+    "ClientExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "RoundPlan",
+    "WorkspaceSpec",
+    "make_executor",
     "FLClient",
     "ClientUpdate",
     "FLServer",

@@ -9,6 +9,7 @@ global model: u_{k,t} = x_local_final - x_{t-1} (the sum of its
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Dict
 
 import numpy as np
 
@@ -48,6 +49,23 @@ class FLClient:
     def n_samples(self) -> int:
         return len(self.train_data)
 
+    def rng_state(self) -> Dict[str, Any]:
+        """Picklable snapshot of the client's RNG stream position.
+
+        The process executor ships this to the worker that runs the
+        client and ships the advanced state back, so the parent's
+        client objects stay the single source of RNG truth and every
+        backend consumes each client stream identically.
+        """
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot produced by :meth:`rng_state`."""
+        name = state["bit_generator"]
+        if type(self._rng.bit_generator).__name__ != name:
+            self._rng = np.random.Generator(getattr(np.random, name)())
+        self._rng.bit_generator.state = state
+
     def compute_update(
         self,
         workspace: ModelWorkspace,
@@ -68,7 +86,13 @@ class FLClient:
         for _ in range(local_epochs):
             for xb, yb in self.train_data.batches(batch_size, rng=self._rng):
                 losses.append(workspace.train_step(xb, yb, lr))
-        update = workspace.get_flat() - global_params
+        # Flatten straight into the update buffer and subtract in place:
+        # one n_params allocation per client instead of two (the update
+        # array itself must be fresh — it outlives this call).
+        update = workspace.get_flat(
+            out=np.empty(workspace.n_params, dtype=float)
+        )
+        update -= global_params
         return ClientUpdate(
             client_id=self.client_id,
             update=update,

@@ -6,7 +6,15 @@ from dataclasses import dataclass, field
 
 from repro.nn.schedules import ConstantLR, LRSchedule
 
-__all__ = ["FLConfig"]
+__all__ = ["EMPTY_ROUND_MODES", "EXECUTOR_BACKENDS", "FLConfig"]
+
+#: Client-execution backends (see :mod:`repro.fl.executor`):
+#: "serial"  -- one shared workspace, clients run back to back;
+#: "thread"  -- a thread pool over replica workspaces;
+#: "process" -- a persistent worker-process pool with the broadcast
+#:              parameters in shared memory.
+#: All three produce bitwise-identical run histories.
+EXECUTOR_BACKENDS = ("serial", "thread", "process")
 
 #: What to do in a round where every update was filtered out.
 #: "keep"  -- leave the model unchanged and reuse the previous feedback
@@ -41,6 +49,10 @@ class FLConfig:
     #: Runtime sanitizer: reject NaN/Inf in client updates and in the
     #: aggregated global delta, naming the offending client and round.
     check_finite: bool = False
+    #: Client-execution backend for the compute half of each round.
+    executor: str = "serial"
+    #: Worker count for the thread/process backends; 0 = os.cpu_count().
+    executor_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -56,3 +68,10 @@ class FLConfig:
                 f"on_empty_round must be one of {EMPTY_ROUND_MODES}, "
                 f"got {self.on_empty_round!r}"
             )
+        if self.executor not in EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_BACKENDS}, "
+                f"got {self.executor!r}"
+            )
+        if self.executor_workers < 0:
+            raise ValueError("executor_workers must be >= 0 (0 = cpu count)")

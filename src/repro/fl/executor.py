@@ -1,0 +1,474 @@
+"""The pluggable client-execution engine (serial / thread / process).
+
+The paper ran CMFL on a 30-node EC2 cluster where every client trains
+concurrently; this module recovers that concurrency in-process.  The
+trainer splits each round into a *compute* half (fan out
+``FLClient.compute_update`` over the participants) and a
+*decide/aggregate* half (a strictly ordered reduction back in the
+trainer).  Executors own only the compute half, which is what makes
+every backend bitwise-identical:
+
+* each client draws minibatches from its **own** RNG stream, so the
+  order in which clients physically run cannot change any draw;
+* results are always returned **aligned with the participant list**
+  (the deterministic reduction order), never in completion order;
+* the process backend ships each client's RNG state to the worker and
+  ships the advanced state back, so the parent's client objects remain
+  the single source of randomness truth across rounds and backends.
+
+The process backend keeps a persistent worker pool; each worker builds
+a replica :class:`~repro.fl.workspace.ModelWorkspace` once from a
+picklable :class:`WorkspaceSpec` and reads the per-round broadcast
+parameter vector from POSIX shared memory, so the steady-state
+per-round IPC is one shared-memory write plus ``n_clients`` small task
+tuples and update vectors.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import get_context, shared_memory
+from queue import SimpleQueue
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.fl.client import ClientUpdate, FLClient
+from repro.fl.config import EXECUTOR_BACKENDS
+from repro.fl.workspace import ModelWorkspace
+
+__all__ = [
+    "ClientExecutionError",
+    "ClientExecutor",
+    "ProcessExecutor",
+    "RoundPlan",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "WorkspaceSpec",
+    "make_executor",
+    "resolve_worker_count",
+]
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """The compute half of one round: what every participant must do."""
+
+    iteration: int
+    lr: float
+    local_epochs: int
+    batch_size: int
+    #: The broadcast x_{t-1} all participants start from (read-only).
+    global_params: np.ndarray
+
+
+class ClientExecutionError(RuntimeError):
+    """A client's local computation failed; names the client."""
+
+    def __init__(self, client_id: int, message: str) -> None:
+        super().__init__(message)
+        self.client_id = client_id
+
+
+def resolve_worker_count(n_workers: int) -> int:
+    """``0`` means "one worker per CPU"; negative counts are invalid."""
+    if n_workers < 0:
+        raise ValueError(f"n_workers must be >= 0, got {n_workers}")
+    if n_workers:
+        return n_workers
+    return max(1, os.cpu_count() or 1)
+
+
+def _rebuild_pickled_workspace(payload: bytes) -> ModelWorkspace:
+    """Builder used by :meth:`WorkspaceSpec.from_workspace`."""
+    return pickle.loads(payload)
+
+
+@dataclass(frozen=True)
+class WorkspaceSpec:
+    """A picklable recipe for building replica workspaces.
+
+    Workers cannot share the trainer's workspace (its parameter buffers
+    are mutated by every ``train_step``), so the thread and process
+    backends build one replica per worker from this spec.  ``builder``
+    must be a module-level callable (picklable by reference) returning
+    a fresh :class:`~repro.fl.workspace.ModelWorkspace` when called
+    with ``kwargs``.  Replica initial parameters are irrelevant — every
+    ``compute_update`` starts by loading the broadcast vector.
+    """
+
+    builder: Callable[..., ModelWorkspace]
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def build(self) -> ModelWorkspace:
+        workspace = self.builder(**self.kwargs)
+        if not isinstance(workspace, ModelWorkspace):
+            raise TypeError(
+                f"spec builder {self.builder!r} returned "
+                f"{type(workspace).__name__}, expected ModelWorkspace"
+            )
+        return workspace
+
+    @classmethod
+    def from_workspace(cls, workspace: ModelWorkspace) -> "WorkspaceSpec":
+        """Snapshot an existing workspace into a picklable spec.
+
+        The workspace (model, loss, optimizer, metric) is serialised
+        eagerly, so later mutation of the original — including the
+        transient forward-pass caches layers keep — does not leak into
+        replicas built from the spec.
+        """
+        return cls(
+            builder=_rebuild_pickled_workspace,
+            kwargs={"payload": pickle.dumps(workspace)},
+        )
+
+
+class ClientExecutor:
+    """Interface: run the compute half of one synchronous round."""
+
+    name = "base"
+
+    def bind(
+        self,
+        workspace: ModelWorkspace,
+        clients: Sequence[FLClient],
+        spec: Optional[WorkspaceSpec] = None,
+    ) -> None:
+        """Called once by the trainer before the first round."""
+        raise NotImplementedError
+
+    def run_round(
+        self, plan: RoundPlan, participants: Sequence[FLClient]
+    ) -> List[ClientUpdate]:
+        """Compute one update per participant.
+
+        The returned list is aligned with ``participants`` regardless
+        of the order in which backends finish individual clients; the
+        trainer's decide/aggregate reduction therefore sees the same
+        sequence under every backend.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pools/shared memory; idempotent."""
+
+    def __enter__(self) -> "ClientExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(ClientExecutor):
+    """The reference backend: clients run back to back on one workspace."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        self._workspace: Optional[ModelWorkspace] = None
+
+    def bind(self, workspace, clients, spec=None) -> None:
+        del clients, spec
+        self._workspace = workspace
+
+    def run_round(self, plan, participants):
+        if self._workspace is None:
+            raise RuntimeError("executor not bound to a trainer")
+        return [
+            client.compute_update(
+                self._workspace,
+                plan.global_params,
+                lr=plan.lr,
+                local_epochs=plan.local_epochs,
+                batch_size=plan.batch_size,
+            )
+            for client in participants
+        ]
+
+
+class ThreadExecutor(ClientExecutor):
+    """A thread pool over a checkout-queue of replica workspaces.
+
+    Each submitted client checks a replica out of the queue, trains on
+    it and returns it, so at most ``n_workers`` replicas exist and no
+    two threads ever share parameter buffers.  Client objects (and
+    their RNGs) are the parent's own — each stream is touched only by
+    its client's task, so concurrency cannot reorder draws.
+    """
+
+    name = "thread"
+
+    def __init__(self, n_workers: int = 0) -> None:
+        self.n_workers = resolve_worker_count(n_workers)
+        self._spec: Optional[WorkspaceSpec] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._replicas: Optional[SimpleQueue] = None
+
+    def bind(self, workspace, clients, spec=None) -> None:
+        del clients
+        # Snapshot now: the trainer has not run yet, so the pickled
+        # model carries no bulky forward-pass caches.
+        self._spec = spec or WorkspaceSpec.from_workspace(workspace)
+
+    def _ensure_started(self) -> None:
+        if self._pool is not None:
+            return
+        if self._spec is None:
+            raise RuntimeError("executor not bound to a trainer")
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.n_workers, thread_name_prefix="repro-client"
+        )
+        self._replicas = SimpleQueue()
+        for _ in range(self.n_workers):
+            self._replicas.put(self._spec.build())
+
+    def _run_one(self, client: FLClient, plan: RoundPlan) -> ClientUpdate:
+        replica = self._replicas.get()
+        try:
+            return client.compute_update(
+                replica,
+                plan.global_params,
+                lr=plan.lr,
+                local_epochs=plan.local_epochs,
+                batch_size=plan.batch_size,
+            )
+        finally:
+            self._replicas.put(replica)
+
+    def run_round(self, plan, participants):
+        self._ensure_started()
+        futures = [
+            self._pool.submit(self._run_one, client, plan)
+            for client in participants
+        ]
+        return _collect_in_order(futures, participants)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._replicas = None
+
+    def __repr__(self) -> str:
+        return f"ThreadExecutor(n_workers={self.n_workers})"
+
+
+# ---------------------------------------------------------------------------
+# Process backend worker side.  Module-level state + functions so everything
+# the pool touches is picklable by reference under any start method.
+
+_WORKER_STATE: Optional["_WorkerState"] = None
+
+
+class _WorkerState:
+    """Per-worker-process state: replica workspace, clients, broadcast."""
+
+    __slots__ = ("workspace", "clients", "shm", "global_view")
+
+    def __init__(self, workspace, clients, shm, global_view) -> None:
+        self.workspace = workspace
+        self.clients = clients
+        self.shm = shm
+        self.global_view = global_view
+
+
+def _init_worker(
+    spec: WorkspaceSpec,
+    clients: Sequence[FLClient],
+    shm_name: str,
+    n_params: int,
+) -> None:
+    global _WORKER_STATE
+    shm = shared_memory.SharedMemory(name=shm_name)
+    view = np.ndarray((n_params,), dtype=np.float64, buffer=shm.buf)
+    _WORKER_STATE = _WorkerState(
+        workspace=spec.build(),
+        clients={c.client_id: c for c in clients},
+        shm=shm,
+        global_view=view,
+    )
+
+
+def _run_client_task(
+    client_id: int,
+    rng_state: Dict[str, Any],
+    lr: float,
+    local_epochs: int,
+    batch_size: int,
+):
+    """Run one client in the worker; returns (update, advanced rng state)."""
+    state = _WORKER_STATE
+    if state is None:
+        raise RuntimeError("worker pool was not initialised")
+    client = state.clients[client_id]
+    client.set_rng_state(rng_state)
+    # The parent only writes the shared broadcast between rounds, while
+    # no task is in flight, so reading the view directly is safe and
+    # saves a copy; compute_update never mutates its global_params.
+    result = client.compute_update(
+        state.workspace,
+        state.global_view,
+        lr=lr,
+        local_epochs=local_epochs,
+        batch_size=batch_size,
+    )
+    return result, client.rng_state()
+
+
+class ProcessExecutor(ClientExecutor):
+    """A persistent ``multiprocessing`` pool of replica workspaces.
+
+    Startup (lazy, on the first round): a shared-memory block sized
+    ``n_params`` float64s is created and every worker builds a replica
+    workspace from the picklable spec plus its own copy of the client
+    shards.  Steady state, per round: the parent writes the broadcast
+    vector into shared memory once, submits ``(client_id, rng_state,
+    hyperparams)`` tuples, and workers stream ``ClientUpdate``s back as
+    they finish; the parent restores each returned RNG state into its
+    own client object and re-aligns results with the participant order.
+
+    Clients are snapshotted into the workers when the pool starts;
+    swapping ``trainer.clients`` entries afterwards cannot reach the
+    workers, so ``run_round`` refuses participants that are not the
+    exact objects it was bound to (re-``bind`` to pick up a changed
+    federation — binding tears any running pool down first).
+    """
+
+    name = "process"
+
+    def __init__(
+        self, n_workers: int = 0, mp_method: Optional[str] = None
+    ) -> None:
+        self.n_workers = resolve_worker_count(n_workers)
+        self.mp_method = mp_method
+        self._spec: Optional[WorkspaceSpec] = None
+        self._clients: Optional[List[FLClient]] = None
+        self._by_id: Dict[int, FLClient] = {}
+        self._n_params: Optional[int] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._shm: Optional[shared_memory.SharedMemory] = None
+
+    def bind(self, workspace, clients, spec=None) -> None:
+        self.close()
+        self._spec = spec or WorkspaceSpec.from_workspace(workspace)
+        self._clients = list(clients)
+        self._by_id = {c.client_id: c for c in self._clients}
+        self._n_params = workspace.n_params
+
+    def _ensure_started(self) -> None:
+        if self._pool is not None:
+            return
+        if self._spec is None or self._n_params is None:
+            raise RuntimeError("executor not bound to a trainer")
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=self._n_params * np.dtype(np.float64).itemsize
+        )
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            mp_context=get_context(self.mp_method),
+            initializer=_init_worker,
+            initargs=(self._spec, self._clients, self._shm.name, self._n_params),
+        )
+
+    def run_round(self, plan, participants):
+        self._ensure_started()
+        # The workers hold a snapshot of the bound client objects, so a
+        # participant that is not that exact object (new id, or an entry
+        # swapped in after binding) would silently run stale code/data.
+        for client in participants:
+            if self._by_id.get(client.client_id) is not client:
+                raise ClientExecutionError(
+                    client.client_id,
+                    f"client {client.client_id} is not among the objects "
+                    "this process pool was started with; re-bind() the "
+                    "executor to pick up the changed federation",
+                )
+        broadcast = np.ndarray(
+            (self._n_params,), dtype=np.float64, buffer=self._shm.buf
+        )
+        np.copyto(broadcast, np.asarray(plan.global_params, dtype=np.float64))
+        del broadcast  # release the exported shm buffer view immediately
+        futures = [
+            self._pool.submit(
+                _run_client_task,
+                client.client_id,
+                client.rng_state(),
+                plan.lr,
+                plan.local_epochs,
+                plan.batch_size,
+            )
+            for client in participants
+        ]
+        payloads = _collect_in_order(futures, participants)
+        results: List[ClientUpdate] = []
+        for client, (result, rng_state) in zip(participants, payloads):
+            client.set_rng_state(rng_state)
+            results.append(result)
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._shm = None
+
+    def __repr__(self) -> str:
+        return f"ProcessExecutor(n_workers={self.n_workers})"
+
+
+def _collect_in_order(
+    futures: Sequence[Future], participants: Sequence[FLClient]
+) -> List[Any]:
+    """Resolve futures in participant order, naming the failing client.
+
+    Any failure — an exception raised inside a client's local training
+    or a worker process dying outright (``BrokenProcessPool``) — is
+    re-raised as :class:`ClientExecutionError` carrying the client id,
+    so a crashed worker surfaces immediately instead of hanging the
+    round.  Remaining futures are cancelled best-effort.
+    """
+    results: List[Any] = []
+    for client, future in zip(participants, futures):
+        try:
+            results.append(future.result())
+        except Exception as exc:
+            for pending in futures:
+                pending.cancel()
+            raise ClientExecutionError(
+                client.client_id,
+                f"client {client.client_id} failed during local "
+                f"computation: {type(exc).__name__}: {exc}",
+            ) from exc
+    return results
+
+
+def make_executor(
+    backend: Union[str, ClientExecutor],
+    n_workers: int = 0,
+    mp_method: Optional[str] = None,
+) -> ClientExecutor:
+    """Build an executor from a backend name (or pass one through)."""
+    if isinstance(backend, ClientExecutor):
+        return backend
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "thread":
+        return ThreadExecutor(n_workers)
+    if backend == "process":
+        return ProcessExecutor(n_workers, mp_method=mp_method)
+    raise ValueError(
+        f"unknown executor backend {backend!r}; choices: {EXECUTOR_BACKENDS}"
+    )

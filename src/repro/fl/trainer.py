@@ -4,11 +4,16 @@ Each iteration: broadcast (x_{t-1}, u_bar_{t-1}); every client trains
 locally and judges its update with the configured upload policy; the
 server averages the uploaded updates into the new global model.  All
 communication and measurement bookkeeping is recorded per round.
+
+The round is split into a *compute* half — fanned out through a
+pluggable :mod:`repro.fl.executor` backend (serial, thread or process)
+— and a *decide/aggregate* half that always runs here, in participant
+order, so run histories are bitwise-identical across backends.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -16,6 +21,12 @@ from repro.core.policy import PolicyContext, UploadPolicy
 from repro.fl.accounting import CommunicationLedger
 from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.config import FLConfig
+from repro.fl.executor import (
+    ClientExecutor,
+    RoundPlan,
+    WorkspaceSpec,
+    make_executor,
+)
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.sampling import ClientSampler, FullParticipation
 from repro.fl.server import FLServer
@@ -51,6 +62,8 @@ class FederatedTrainer:
         eval_fn: Optional[EvalFn] = None,
         feedback_staleness: int = 1,
         sampler: Optional[ClientSampler] = None,
+        executor: Union[None, str, ClientExecutor] = None,
+        workspace_spec: Optional[WorkspaceSpec] = None,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -70,6 +83,13 @@ class FederatedTrainer:
         )
         self.ledger = CommunicationLedger(n_params=self.server.n_params)
         self.history = RunHistory(policy_name=policy.name)
+        # Client-execution engine: ``executor`` overrides the config's
+        # backend name; a ready-made ClientExecutor is used as-is.
+        self.executor = make_executor(
+            config.executor if executor is None else executor,
+            n_workers=config.executor_workers,
+        )
+        self.executor.bind(workspace, self.clients, spec=workspace_spec)
         # Hook for measurement experiments: called with every
         # (client update, decision) pair before aggregation.
         self.on_decision: Optional[Callable] = None
@@ -84,31 +104,40 @@ class FederatedTrainer:
         if not participants:
             raise RuntimeError(f"sampler selected no clients in round {t}")
 
+        # Compute half: fan the participants out through the executor.
+        # Results come back aligned with the participant order whatever
+        # the backend's completion order was.
+        plan = RoundPlan(
+            iteration=t,
+            lr=lr,
+            local_epochs=self.config.local_epochs,
+            batch_size=self.config.batch_size,
+            global_params=global_params,
+        )
+        results = self.executor.run_round(plan, participants)
+
+        # Decide/aggregate half: a strictly ordered reduction.  One
+        # context per round; per-client views share its cache, so CMFL
+        # computes np.sign(u_bar) once per round, not once per client.
+        round_ctx = PolicyContext(
+            iteration=t,
+            global_params=global_params,
+            global_update_estimate=feedback,
+        )
         uploads: List[ClientUpdate] = []
         skipped: List[ClientUpdate] = []
         scores: List[float] = []
         losses: List[float] = []
         threshold = 0.0
-        for client in participants:
-            result = client.compute_update(
-                self.workspace,
-                global_params,
-                lr=lr,
-                local_epochs=self.config.local_epochs,
-                batch_size=self.config.batch_size,
-            )
+        for client, result in zip(participants, results):
             if self.config.check_finite:
                 _ensure_finite(
                     result.update,
                     f"update from client {client.client_id} in round {t}",
                 )
-            ctx = PolicyContext(
-                iteration=t,
-                global_params=global_params,
-                global_update_estimate=feedback,
-                client_id=client.client_id,
+            decision = self.policy.decide(
+                result.update, round_ctx.for_client(client.client_id)
             )
-            decision = self.policy.decide(result.update, ctx)
             if self.on_decision is not None:
                 self.on_decision(result, decision)
             scores.append(decision.score)
@@ -161,3 +190,18 @@ class FederatedTrainer:
         for t in range(start, start + total):
             self.run_round(t)
         return self.history
+
+    def close(self) -> None:
+        """Release executor resources (worker pools, shared memory).
+
+        A no-op for the serial backend; idempotent everywhere.  The
+        trainer remains usable afterwards — thread/process backends
+        lazily restart their pools on the next round.
+        """
+        self.executor.close()
+
+    def __enter__(self) -> "FederatedTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -42,9 +42,14 @@ class ModelWorkspace:
         self.metric = metric
         self.n_params = parameter_count(model)
 
-    def get_flat(self) -> np.ndarray:
-        """Current parameters as a flat vector (a copy)."""
-        return flatten_parameters(self.model)
+    def get_flat(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Current parameters as a flat vector (a copy).
+
+        ``out=`` writes into a preallocated float64 vector instead of
+        allocating one — the per-client hot path in the executor uses
+        this to avoid an extra ``n_params`` allocation per call.
+        """
+        return flatten_parameters(self.model, out=out)
 
     def load_flat(self, flat: np.ndarray) -> None:
         """Overwrite the model parameters from a flat vector."""

@@ -19,6 +19,7 @@ __all__ = [
     "ExplicitDtypeRule",
     "NoGlobalRngRule",
     "NoParamMutationRule",
+    "NoSequentialClientLoopRule",
     "NoWallclockSeedRule",
     "UnusedPureResultRule",
     "dotted_parts",
@@ -500,6 +501,95 @@ class UnusedPureResultRule(LintRule):
         self.generic_visit(node)
 
 
+class NoSequentialClientLoopRule(LintRule):
+    """Per-client compute loops must route through ``repro.fl.executor``.
+
+    A literal ``for client in ...: client.compute_update(...)`` loop
+    (or the comprehension equivalent) serialises the compute half of a
+    round and silently bypasses the execution engine — the thread and
+    process backends, the shared-memory broadcast and the deterministic
+    reduction all live behind ``ClientExecutor.run_round``.  Only the
+    executor module itself (where the serial backend is the
+    implementation) may loop directly.
+    """
+
+    name = "no-sequential-client-loop"
+    description = (
+        "per-client compute_update loops must go through the "
+        "repro.fl.executor engine (ClientExecutor.run_round)"
+    )
+
+    #: Package-relative files where the direct loop IS the engine.
+    DEFAULT_ALLOWED = ("fl/executor.py",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Call nodes already reported (nested loops share bodies).
+        self._flagged: Set[int] = set()
+
+    def _allowed_here(self) -> bool:
+        allowed = self.settings.option("allow_in", self.DEFAULT_ALLOWED)
+        return self.ctx.package_path in tuple(allowed)
+
+    @staticmethod
+    def _compute_update_call(node: ast.AST) -> Optional[ast.Call]:
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "compute_update"
+            ):
+                return sub
+        return None
+
+    def _check(self, loop_node: ast.AST, body: Sequence[ast.AST]) -> None:
+        if self._allowed_here():
+            return
+        for stmt in body:
+            call = self._compute_update_call(stmt)
+            if call is not None and id(call) not in self._flagged:
+                self._flagged.add(id(call))
+                self.report(
+                    call,
+                    "sequential per-client compute loop; fan out through "
+                    "the trainer's executor (ClientExecutor.run_round) so "
+                    "the thread/process backends apply",
+                )
+                return
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check(node, node.body)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check(node, node.body)
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._check(node, node.body)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        if not self._allowed_here():
+            element = node.key if isinstance(node, ast.DictComp) else node.elt
+            call = self._compute_update_call(element)
+            if call is not None and id(call) not in self._flagged:
+                self._flagged.add(id(call))
+                self.report(
+                    call,
+                    "sequential per-client compute comprehension; fan out "
+                    "through the trainer's executor "
+                    "(ClientExecutor.run_round) so the thread/process "
+                    "backends apply",
+                )
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+
 class AllExportsRule(LintRule):
     """Every public module must define an accurate ``__all__``.
 
@@ -645,6 +735,7 @@ DEFAULT_RULES: Tuple[type, ...] = (
     NoGlobalRngRule,
     ExplicitDtypeRule,
     NoParamMutationRule,
+    NoSequentialClientLoopRule,
     NoWallclockSeedRule,
     UnusedPureResultRule,
     AllExportsRule,

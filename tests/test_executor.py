@@ -1,0 +1,264 @@
+"""The client-execution engine: backend equivalence, crash handling,
+workspace specs and the round-level hot-path fast paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import CMFLPolicy, PolicyContext
+from repro.core.relevance import relevance, sign_agreement_counts
+from repro.core.thresholds import ConstantThreshold, InverseSqrtThreshold
+from repro.data.dataset import Dataset
+from repro.data.partition import iid_partition
+from repro.fl.client import FLClient
+from repro.fl.config import EXECUTOR_BACKENDS, FLConfig
+from repro.fl.executor import (
+    ClientExecutionError,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    WorkspaceSpec,
+    make_executor,
+    resolve_worker_count,
+)
+from repro.fl.trainer import FederatedTrainer
+from repro.fl.workspace import ModelWorkspace
+from repro.models.linear import make_logistic_regression
+from repro.nn.losses import SigmoidBinaryCrossEntropy
+from repro.nn.metrics import binary_accuracy
+from repro.nn.optimizers import SGD
+from repro.nn.schedules import ConstantLR
+from repro.nn.serialization import flatten_gradients, flatten_parameters
+from repro.utils.rng import child_rngs
+
+
+class _ExplodingClient(FLClient):
+    """Raises inside local training (module-level: picklable for workers)."""
+
+    def compute_update(self, *args, **kwargs):
+        raise RuntimeError("local optimiser exploded")
+
+
+def _make_workspace(rng):
+    model = make_logistic_regression(5, rng=rng)
+    return ModelWorkspace(
+        model,
+        SigmoidBinaryCrossEntropy(),
+        SGD(model.parameters(), 0.5),
+        metric=binary_accuracy,
+    )
+
+
+def _federation(policy, backend="serial", n_clients=4, rounds=5, seed=0,
+                client_cls=FLClient, **cfg_kw):
+    rngs = child_rngs(seed, n_clients + 3)
+    w_true = rngs[0].normal(size=5)
+    x = rngs[1].normal(size=(80, 5))
+    y = (x @ w_true > 0).astype(np.int64)
+    data = Dataset(x, y)
+    workspace = _make_workspace(rngs[2])
+    parts = iid_partition(len(data), n_clients, rng=seed)
+    clients = [client_cls(i, data.subset(p), rng=rngs[3 + i])
+               for i, p in enumerate(parts)]
+    config = FLConfig(rounds=rounds, local_epochs=1, batch_size=10,
+                      lr=ConstantLR(0.5), eval_every=1,
+                      executor=backend, executor_workers=2, **cfg_kw)
+    return FederatedTrainer(
+        workspace, clients, policy, config,
+        eval_fn=lambda w: w.evaluate(data.x, data.y),
+    ), data
+
+
+def _run_fingerprint(backend):
+    with _federation(CMFLPolicy(InverseSqrtThreshold(0.8)),
+                     backend=backend)[0] as trainer:
+        history = trainer.run()
+        return (
+            [r.mean_train_loss for r in history],
+            [r.mean_score for r in history],
+            [r.uploaded_ids for r in history],
+            [r.test_loss for r in history],
+            trainer.server.global_params.tobytes(),
+        )
+
+
+class TestBackendEquivalence:
+    """The engine contract: backends differ only in wall-clock time."""
+
+    def test_all_backends_bitwise_identical(self):
+        serial = _run_fingerprint("serial")
+        for backend in EXECUTOR_BACKENDS:
+            if backend == "serial":
+                continue
+            losses, scores, uploaded, evals, params = _run_fingerprint(backend)
+            assert losses == serial[0], backend
+            assert scores == serial[1], backend
+            assert uploaded == serial[2], backend
+            assert evals == serial[3], backend
+            assert params == serial[4], backend
+
+    def test_rng_streams_survive_process_round_trip(self):
+        """Parent clients stay the source of randomness truth: a process
+        round followed by a serial round matches an all-serial run."""
+        mixed, _ = _federation(CMFLPolicy(ConstantThreshold(0.0)),
+                               backend="process", rounds=2)
+        mixed.run(1)
+        mixed.executor.close()
+        mixed.executor = SerialExecutor()
+        mixed.executor.bind(mixed.workspace, mixed.clients)
+        mixed.run(1)
+
+        pure, _ = _federation(CMFLPolicy(ConstantThreshold(0.0)),
+                              backend="serial", rounds=2)
+        pure.run(2)
+        assert (mixed.server.global_params.tobytes()
+                == pure.server.global_params.tobytes())
+
+
+class TestCrashHandling:
+    def test_thread_backend_names_failing_client(self):
+        trainer, _ = _federation(CMFLPolicy(ConstantThreshold(0.0)),
+                                 backend="thread")
+        with trainer:
+            trainer.clients[2] = _ExplodingClient(
+                2, trainer.clients[2].train_data
+            )
+            with pytest.raises(ClientExecutionError, match="client 2"):
+                trainer.run(1)
+
+    def test_process_backend_names_failing_client(self):
+        """A worker-side exception surfaces the client id, no hang."""
+        trainer, data = _federation(CMFLPolicy(ConstantThreshold(0.0)),
+                                    backend="process", n_clients=3)
+        parts = iid_partition(len(data), 3, rng=0)
+        clients = [
+            FLClient(0, data.subset(parts[0])),
+            _ExplodingClient(1, data.subset(parts[1])),
+            FLClient(2, data.subset(parts[2])),
+        ]
+        trainer.clients = clients
+        trainer.executor.bind(trainer.workspace, clients)
+        with trainer:
+            with pytest.raises(ClientExecutionError, match="client 1") as exc:
+                trainer.run(1)
+            assert exc.value.client_id == 1
+            assert "RuntimeError" in str(exc.value)
+
+    def test_process_backend_rejects_swapped_client_objects(self):
+        """Workers snapshot client objects at pool start; a swapped-in
+        object (same id, different behaviour) must not run silently."""
+        trainer, _ = _federation(CMFLPolicy(ConstantThreshold(0.0)),
+                                 backend="process")
+        with trainer:
+            trainer.run(1)
+            trainer.clients[2] = _ExplodingClient(
+                2, trainer.clients[2].train_data
+            )
+            with pytest.raises(ClientExecutionError, match="re-bind"):
+                trainer.run(1)
+
+    def test_rebind_picks_up_changed_federation(self):
+        trainer, _ = _federation(CMFLPolicy(ConstantThreshold(0.0)),
+                                 backend="process")
+        with trainer:
+            trainer.run(1)
+            trainer.clients[2] = FLClient(
+                2, trainer.clients[2].train_data, rng=123
+            )
+            trainer.executor.bind(trainer.workspace, trainer.clients)
+            trainer.run(1)
+            assert len(trainer.history) == 2
+
+
+class TestWorkspaceSpec:
+    def test_from_workspace_builds_equal_replicas(self):
+        workspace = _make_workspace(np.random.default_rng(0))
+        spec = WorkspaceSpec.from_workspace(workspace)
+        replica = spec.build()
+        assert replica is not workspace
+        np.testing.assert_array_equal(replica.get_flat(), workspace.get_flat())
+        # The snapshot is eager: later mutation of the original does not
+        # leak into new replicas.
+        workspace.load_flat(np.zeros(workspace.n_params, dtype=float))
+        replica2 = spec.build()
+        assert np.any(replica2.get_flat() != 0.0)
+
+    def test_builder_type_checked(self):
+        spec = WorkspaceSpec(builder=dict)
+        with pytest.raises(TypeError, match="expected ModelWorkspace"):
+            spec.build()
+
+
+class TestFactoryAndConfig:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            make_executor("gpu")
+
+    def test_instances_pass_through(self):
+        ex = ThreadExecutor(2)
+        assert make_executor(ex) is ex
+
+    def test_make_executor_maps_names(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("thread"), ThreadExecutor)
+        assert isinstance(make_executor("process"), ProcessExecutor)
+
+    def test_resolve_worker_count(self):
+        assert resolve_worker_count(3) == 3
+        assert resolve_worker_count(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_worker_count(-1)
+
+    def test_config_validates_executor_fields(self):
+        with pytest.raises(ValueError, match="executor"):
+            FLConfig(executor="bogus")
+        with pytest.raises(ValueError, match="executor_workers"):
+            FLConfig(executor_workers=-1)
+
+
+class TestHotPathFastPaths:
+    """The per-round caches and preallocated-buffer paths are exact."""
+
+    def test_policy_context_caches_feedback_sign(self):
+        fb = np.array([1.0, -2.0, 0.0, 3.0])
+        ctx = PolicyContext(iteration=1, global_params=np.zeros(4),
+                            global_update_estimate=fb)
+        sign = ctx.feedback_sign
+        np.testing.assert_array_equal(sign, np.sign(fb))
+        # Per-client views share the round's cache: same array object.
+        assert ctx.for_client(7).feedback_sign is sign
+
+    def test_sign_agreement_precomputed_matches(self):
+        rng = np.random.default_rng(5)
+        u = rng.normal(size=50)
+        u_bar = rng.normal(size=50)
+        u_bar[::7] = 0.0
+        sign = np.sign(u_bar)
+        assert (sign_agreement_counts(u, u_bar)
+                == sign_agreement_counts(u, u_bar, u_bar_sign=sign))
+        assert relevance(u, u_bar) == relevance(u, u_bar, u_bar_sign=sign)
+
+    def test_flatten_out_buffer(self):
+        workspace = _make_workspace(np.random.default_rng(1))
+        n = workspace.n_params
+        buf = np.empty(n, dtype=float)
+        out = flatten_parameters(workspace.model, out=buf)
+        assert out is buf
+        np.testing.assert_array_equal(buf, flatten_parameters(workspace.model))
+        grad_buf = np.empty(n, dtype=float)
+        assert flatten_gradients(workspace.model, out=grad_buf) is grad_buf
+        np.testing.assert_array_equal(
+            grad_buf, flatten_gradients(workspace.model)
+        )
+
+    def test_flatten_out_buffer_validated(self):
+        workspace = _make_workspace(np.random.default_rng(1))
+        with pytest.raises(ValueError, match="float64 vector"):
+            flatten_parameters(
+                workspace.model,
+                out=np.empty(workspace.n_params + 1, dtype=float),
+            )
+        with pytest.raises(ValueError, match="float64 vector"):
+            flatten_parameters(
+                workspace.model,
+                out=np.empty(workspace.n_params, dtype=np.float32),
+            )

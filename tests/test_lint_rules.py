@@ -11,6 +11,7 @@ from repro.lint.rules import (
     ExplicitDtypeRule,
     NoGlobalRngRule,
     NoParamMutationRule,
+    NoSequentialClientLoopRule,
     NoWallclockSeedRule,
     UnusedPureResultRule,
 )
@@ -422,6 +423,105 @@ class TestAllExports:
         assert rules_fired(source, AllExportsRule) == []
 
 
+
+class TestNoSequentialClientLoop:
+    def test_for_loop_fires(self):
+        source = """\
+            def run_round(clients, workspace, global_params):
+                results = []
+                for client in clients:
+                    results.append(client.compute_update(workspace, global_params))
+                return results
+        """
+        assert rules_fired(
+            source, NoSequentialClientLoopRule, relpath="fl/trainer.py"
+        ) == ["no-sequential-client-loop"]
+
+    def test_comprehension_fires(self):
+        source = """\
+            def run_round(clients, workspace, global_params):
+                return [client.compute_update(workspace, global_params)
+                        for client in clients]
+        """
+        assert rules_fired(
+            source, NoSequentialClientLoopRule, relpath="experiments/probe.py"
+        ) == ["no-sequential-client-loop"]
+
+    def test_while_loop_fires(self):
+        source = """\
+            def drain(queue, workspace, gp):
+                while queue:
+                    queue.pop().compute_update(workspace, gp)
+        """
+        assert rules_fired(
+            source, NoSequentialClientLoopRule, relpath="fl/probe.py"
+        ) == ["no-sequential-client-loop"]
+
+    def test_nested_loops_report_once(self):
+        source = """\
+            def run(rounds, clients, workspace, gp):
+                for _ in range(rounds):
+                    for client in clients:
+                        client.compute_update(workspace, gp)
+        """
+        fired = rules_fired(
+            source, NoSequentialClientLoopRule, relpath="fl/probe.py"
+        )
+        assert fired == ["no-sequential-client-loop"]
+
+    def test_executor_module_is_the_engine(self):
+        source = """\
+            def run_round(self, plan, participants):
+                return [client.compute_update(self._workspace, plan.global_params)
+                        for client in participants]
+        """
+        assert rules_fired(
+            source, NoSequentialClientLoopRule, relpath="fl/executor.py"
+        ) == []
+
+    def test_allow_in_option(self):
+        source = """\
+            def run(clients, ws, gp):
+                for client in clients:
+                    client.compute_update(ws, gp)
+        """
+        config = LintConfig(
+            rules={"no-sequential-client-loop": {"allow_in": ["custom/engine.py"]}}
+        )
+        assert rules_fired(
+            source, NoSequentialClientLoopRule,
+            relpath="custom/engine.py", config=config,
+        ) == []
+        assert rules_fired(
+            source, NoSequentialClientLoopRule,
+            relpath="fl/other.py", config=config,
+        ) == ["no-sequential-client-loop"]
+
+    def test_non_client_loops_ignored(self):
+        source = """\
+            def run(clients, ws, gp):
+                updates = [client.compute_update(ws, gp) for client in clients]
+                for u in updates:
+                    u.normalize()
+                return updates
+        """
+        fired = rules_fired(
+            source, NoSequentialClientLoopRule, relpath="fl/probe.py"
+        )
+        # Only the compute_update comprehension fires, not the second loop.
+        assert fired == ["no-sequential-client-loop"]
+
+    def test_suppression(self):
+        source = """\
+            def run(clients, ws, gp):
+                for client in clients:
+                    client.compute_update(ws, gp)  # repro-lint: disable=no-sequential-client-loop
+        """
+        assert rules_fired(
+            source, NoSequentialClientLoopRule, relpath="fl/probe.py"
+        ) == []
+
+
 class TestAgainstRealTree:
     """The shipped tree is the ultimate fixture: rules run clean on it."""
 
@@ -431,6 +531,7 @@ class TestAgainstRealTree:
             NoGlobalRngRule,
             ExplicitDtypeRule,
             NoParamMutationRule,
+            NoSequentialClientLoopRule,
             NoWallclockSeedRule,
             UnusedPureResultRule,
             AllExportsRule,

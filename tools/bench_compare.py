@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Diff two round-throughput baselines; fail on throughput regressions.
+
+Compares clients/sec per (workload, backend) between two
+``BENCH_timing.json`` files written by ``tools/bench_timing.py`` and
+exits non-zero when any pair regressed by more than the threshold
+(default 20%).  Pairs present in only one file are reported but never
+fail the comparison.
+
+Usage::
+
+    python tools/bench_timing.py --out /tmp/after.json
+    python tools/bench_compare.py BENCH_timing.json /tmp/after.json
+    python tools/bench_compare.py before.json after.json --threshold 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def _throughputs(payload):
+    """Flatten a timing payload into {(workload, backend): clients/sec}."""
+    if payload.get("schema") != "repro-bench-timing/v1":
+        raise ValueError(
+            f"not a repro-bench-timing/v1 payload (schema={payload.get('schema')!r})"
+        )
+    out = {}
+    for workload, data in payload["workloads"].items():
+        for backend, entry in data["backends"].items():
+            out[(workload, backend)] = float(entry["clients_per_sec"])
+    return out
+
+
+def compare(before, after, threshold):
+    """Return (report_lines, regressions) for two timing payloads."""
+    base = _throughputs(before)
+    new = _throughputs(after)
+    lines = []
+    regressions = []
+    for key in sorted(set(base) | set(new)):
+        workload, backend = key
+        label = f"{workload}/{backend}"
+        if key not in base:
+            lines.append(f"  {label:<24} only in AFTER ({new[key]:.2f} clients/s)")
+            continue
+        if key not in new:
+            lines.append(f"  {label:<24} only in BEFORE ({base[key]:.2f} clients/s)")
+            continue
+        delta = (new[key] - base[key]) / base[key]
+        verdict = "ok"
+        if delta < -threshold:
+            verdict = "REGRESSION"
+            regressions.append((label, base[key], new[key], delta))
+        lines.append(
+            f"  {label:<24} {base[key]:>9.2f} -> {new[key]:>9.2f} clients/s "
+            f"({delta:+.1%}) {verdict}"
+        )
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("before", type=Path, help="baseline BENCH_timing.json")
+    parser.add_argument("after", type=Path, help="candidate BENCH_timing.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="max tolerated fractional throughput drop (default: 0.2)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.threshold < 1:
+        parser.error("--threshold must be in [0, 1)")
+
+    before = json.loads(args.before.read_text())
+    after = json.loads(args.after.read_text())
+    lines, regressions = compare(before, after, args.threshold)
+
+    print(f"throughput comparison (threshold {args.threshold:.0%} drop):")
+    print("\n".join(lines))
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} pair(s) regressed by more than "
+            f"{args.threshold:.0%}"
+        )
+        return 1
+    print("\nOK: no pair regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
