@@ -106,6 +106,12 @@ class ClusterEmulator:
         total = size * count
         key = kind.value
         self.report.bytes_by_kind[key] = self.report.bytes_by_kind.get(key, 0) + total
+        # Mirror the ledger into the trainer's trace, one counter pair
+        # per message kind.  Message counts and sizes are pure functions
+        # of the run, so these live in the deterministic namespace.
+        metrics = self.trainer.tracer.metrics
+        metrics.counter(f"emu.messages.{key}").inc(count)
+        metrics.counter(f"emu.bytes.{key}").inc(total)
         return total
 
     def run_round(self, t: int) -> RoundRecord:
@@ -150,6 +156,19 @@ class ClusterEmulator:
         )
         self.report.timings.append(timing)
         self.report.simulated_seconds += timing.total
+        # Emulated times are model-derived (not wall clock), hence
+        # deterministic attrs rather than rt.
+        self.trainer.tracer.event(
+            "emu_round",
+            attrs={
+                "iteration": t,
+                "broadcast_time": timing.broadcast_time,
+                "slowest_compute_time": timing.slowest_compute_time,
+                "slowest_upload_time": timing.slowest_upload_time,
+                "relevance_check_time": timing.relevance_check_time,
+                "total": timing.total,
+            },
+        )
         return record
 
     def run(self, rounds: int) -> EmulationReport:

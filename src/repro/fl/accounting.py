@@ -9,16 +9,24 @@ where a filtered client sends only a tiny status message.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.nn.serialization import STATUS_MESSAGE_BYTES, update_nbytes
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["CommunicationLedger"]
 
 
 @dataclass
 class CommunicationLedger:
-    """Running totals of uploads, skips and bytes for one federated run."""
+    """Running totals of uploads, skips and bytes for one federated run.
+
+    When a ``metrics`` registry is attached (the trainer passes its
+    tracer's), every recorded round also streams the first-class
+    ``comm.*`` counters — uploads, skips, uploaded/status bytes — so a
+    trace carries the paper's communication measurements alongside its
+    timing spans.
+    """
 
     n_params: int
     accumulated_rounds: int = 0
@@ -27,6 +35,9 @@ class CommunicationLedger:
     skips_per_client: Dict[int, int] = field(default_factory=dict)
     uploads_per_client: Dict[int, int] = field(default_factory=dict)
     rounds_per_iteration: List[int] = field(default_factory=list)
+    metrics: Optional[MetricsRegistry] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.n_params < 1:
@@ -37,12 +48,19 @@ class CommunicationLedger:
         r_t = len(uploaded_ids)
         self.accumulated_rounds += r_t
         self.rounds_per_iteration.append(r_t)
-        self.uploaded_bytes += r_t * update_nbytes(self.n_params)
-        self.status_bytes += len(skipped_ids) * STATUS_MESSAGE_BYTES
+        upload_bytes = r_t * update_nbytes(self.n_params)
+        skip_bytes = len(skipped_ids) * STATUS_MESSAGE_BYTES
+        self.uploaded_bytes += upload_bytes
+        self.status_bytes += skip_bytes
         for cid in uploaded_ids:
             self.uploads_per_client[cid] = self.uploads_per_client.get(cid, 0) + 1
         for cid in skipped_ids:
             self.skips_per_client[cid] = self.skips_per_client.get(cid, 0) + 1
+        if self.metrics is not None:
+            self.metrics.counter("comm.uploads").inc(r_t)
+            self.metrics.counter("comm.skips").inc(len(skipped_ids))
+            self.metrics.counter("comm.uploaded_bytes").inc(upload_bytes)
+            self.metrics.counter("comm.status_bytes").inc(skip_bytes)
 
     @property
     def total_bytes(self) -> int:

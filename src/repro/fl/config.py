@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.nn.schedules import ConstantLR, LRSchedule
 
@@ -53,6 +54,13 @@ class FLConfig:
     executor: str = "serial"
     #: Worker count for the thread/process backends; 0 = os.cpu_count().
     executor_workers: int = 0
+    #: Structured tracing (see :mod:`repro.obs`).  Off by default: the
+    #: trainer then runs on the allocation-free NullTracer.
+    trace: bool = False
+    #: Where to stream the JSONL trace; a path implies ``trace`` on.
+    #: With ``trace=True`` and no path, events collect in memory
+    #: (``trainer.tracer.memory_events()``).
+    trace_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -75,3 +83,10 @@ class FLConfig:
             )
         if self.executor_workers < 0:
             raise ValueError("executor_workers must be >= 0 (0 = cpu count)")
+        if self.trace_path is not None and not str(self.trace_path):
+            raise ValueError("trace_path must be a non-empty path or None")
+
+    @property
+    def trace_enabled(self) -> bool:
+        """Tracing is on when either knob is set."""
+        return bool(self.trace or self.trace_path)

@@ -28,17 +28,20 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from multiprocessing import get_context, shared_memory
 from queue import SimpleQueue
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from time import monotonic
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.config import EXECUTOR_BACKENDS
 from repro.fl.workspace import ModelWorkspace
+from repro.obs import NULL_TRACER
 
 __all__ = [
     "ClientExecutionError",
@@ -66,11 +69,41 @@ class RoundPlan:
 
 
 class ClientExecutionError(RuntimeError):
-    """A client's local computation failed; names the client."""
+    """A client's local computation failed; carries structured context.
 
-    def __init__(self, client_id: int, message: str) -> None:
+    Beyond the formatted message, the failure's coordinates are plain
+    attributes so callers (and trace sinks) can act on them without
+    parsing strings: ``client_id``, ``iteration`` (the round, when
+    known), ``backend`` (which executor ran the client), ``elapsed_s``
+    (time spent before the failure surfaced) and ``cause_type`` (the
+    original exception's class name).
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        message: str,
+        iteration: Optional[int] = None,
+        backend: Optional[str] = None,
+        elapsed_s: Optional[float] = None,
+        cause_type: Optional[str] = None,
+    ) -> None:
         super().__init__(message)
         self.client_id = client_id
+        self.iteration = iteration
+        self.backend = backend
+        self.elapsed_s = elapsed_s
+        self.cause_type = cause_type
+
+    def context(self) -> Dict[str, Any]:
+        """The structured failure coordinates, e.g. for logging."""
+        return {
+            "client_id": self.client_id,
+            "iteration": self.iteration,
+            "backend": self.backend,
+            "elapsed_s": self.elapsed_s,
+            "cause_type": self.cause_type,
+        }
 
 
 def resolve_worker_count(n_workers: int) -> int:
@@ -131,12 +164,16 @@ class ClientExecutor:
     """Interface: run the compute half of one synchronous round."""
 
     name = "base"
+    #: Observability hook; the allocation-free default is replaced by
+    #: the trainer's tracer at ``bind`` time when tracing is on.
+    tracer = NULL_TRACER
 
     def bind(
         self,
         workspace: ModelWorkspace,
         clients: Sequence[FLClient],
         spec: Optional[WorkspaceSpec] = None,
+        tracer=None,
     ) -> None:
         """Called once by the trainer before the first round."""
         raise NotImplementedError
@@ -173,24 +210,40 @@ class SerialExecutor(ClientExecutor):
 
     def __init__(self) -> None:
         self._workspace: Optional[ModelWorkspace] = None
+        self.tracer = NULL_TRACER
 
-    def bind(self, workspace, clients, spec=None) -> None:
+    def bind(self, workspace, clients, spec=None, tracer=None) -> None:
         del clients, spec
         self._workspace = workspace
+        self.tracer = tracer or NULL_TRACER
 
     def run_round(self, plan, participants):
         if self._workspace is None:
             raise RuntimeError("executor not bound to a trainer")
-        return [
-            client.compute_update(
-                self._workspace,
-                plan.global_params,
-                lr=plan.lr,
-                local_epochs=plan.local_epochs,
-                batch_size=plan.batch_size,
+        tracer = self.tracer
+        _emit_broadcast_span(tracer, plan, rt={"shm": False})
+        results: List[ClientUpdate] = []
+        round_start = monotonic()
+        for client in participants:
+            start = monotonic()
+            try:
+                update = client.compute_update(
+                    self._workspace,
+                    plan.global_params,
+                    lr=plan.lr,
+                    local_epochs=plan.local_epochs,
+                    batch_size=plan.batch_size,
+                )
+            except Exception as exc:
+                raise _client_failure(
+                    exc, client, plan, self.name,
+                    monotonic() - round_start, tracer,
+                ) from exc
+            _emit_task_span(
+                tracer, plan, client, (0.0, monotonic() - start, "main")
             )
-            for client in participants
-        ]
+            results.append(update)
+        return results
 
 
 class ThreadExecutor(ClientExecutor):
@@ -210,12 +263,14 @@ class ThreadExecutor(ClientExecutor):
         self._spec: Optional[WorkspaceSpec] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         self._replicas: Optional[SimpleQueue] = None
+        self.tracer = NULL_TRACER
 
-    def bind(self, workspace, clients, spec=None) -> None:
+    def bind(self, workspace, clients, spec=None, tracer=None) -> None:
         del clients
         # Snapshot now: the trainer has not run yet, so the pickled
         # model carries no bulky forward-pass caches.
         self._spec = spec or WorkspaceSpec.from_workspace(workspace)
+        self.tracer = tracer or NULL_TRACER
 
     def _ensure_started(self) -> None:
         if self._pool is not None:
@@ -228,11 +283,15 @@ class ThreadExecutor(ClientExecutor):
         self._replicas = SimpleQueue()
         for _ in range(self.n_workers):
             self._replicas.put(self._spec.build())
+        self.tracer.metrics.counter("runtime.executor.pool_starts").inc()
 
-    def _run_one(self, client: FLClient, plan: RoundPlan) -> ClientUpdate:
+    def _run_one(
+        self, client: FLClient, plan: RoundPlan, submit_ts: float
+    ) -> Tuple[ClientUpdate, Tuple[float, float, str]]:
+        start = monotonic()
         replica = self._replicas.get()
         try:
-            return client.compute_update(
+            update = client.compute_update(
                 replica,
                 plan.global_params,
                 lr=plan.lr,
@@ -241,14 +300,28 @@ class ThreadExecutor(ClientExecutor):
             )
         finally:
             self._replicas.put(replica)
+        end = monotonic()
+        timing = (start - submit_ts, end - start, threading.current_thread().name)
+        return update, timing
 
     def run_round(self, plan, participants):
         self._ensure_started()
+        tracer = self.tracer
+        _emit_broadcast_span(tracer, plan, rt={"shm": False})
+        round_start = monotonic()
         futures = [
-            self._pool.submit(self._run_one, client, plan)
+            self._pool.submit(self._run_one, client, plan, monotonic())
             for client in participants
         ]
-        return _collect_in_order(futures, participants)
+        payloads = _collect_in_order(
+            futures, participants,
+            plan=plan, backend=self.name, tracer=tracer, started=round_start,
+        )
+        results: List[ClientUpdate] = []
+        for client, (update, timing) in zip(participants, payloads):
+            _emit_task_span(tracer, plan, client, timing)
+            results.append(update)
+        return results
 
     def close(self) -> None:
         if self._pool is not None:
@@ -302,8 +375,16 @@ def _run_client_task(
     lr: float,
     local_epochs: int,
     batch_size: int,
+    submit_ts: float,
 ):
-    """Run one client in the worker; returns (update, advanced rng state)."""
+    """Run one client in the worker.
+
+    Returns ``(update, advanced rng state, timing)`` where timing is
+    ``(queue_wait, dur, worker)``.  Queue wait is ``start - submit_ts``;
+    both ends are ``time.monotonic`` readings, which on Linux share
+    CLOCK_MONOTONIC across the parent and its worker processes.
+    """
+    start = monotonic()
     state = _WORKER_STATE
     if state is None:
         raise RuntimeError("worker pool was not initialised")
@@ -319,7 +400,8 @@ def _run_client_task(
         local_epochs=local_epochs,
         batch_size=batch_size,
     )
-    return result, client.rng_state()
+    timing = (start - submit_ts, monotonic() - start, f"pid-{os.getpid()}")
+    return result, client.rng_state(), timing
 
 
 class ProcessExecutor(ClientExecutor):
@@ -354,13 +436,15 @@ class ProcessExecutor(ClientExecutor):
         self._n_params: Optional[int] = None
         self._pool: Optional[ProcessPoolExecutor] = None
         self._shm: Optional[shared_memory.SharedMemory] = None
+        self.tracer = NULL_TRACER
 
-    def bind(self, workspace, clients, spec=None) -> None:
+    def bind(self, workspace, clients, spec=None, tracer=None) -> None:
         self.close()
         self._spec = spec or WorkspaceSpec.from_workspace(workspace)
         self._clients = list(clients)
         self._by_id = {c.client_id: c for c in self._clients}
         self._n_params = workspace.n_params
+        self.tracer = tracer or NULL_TRACER
 
     def _ensure_started(self) -> None:
         if self._pool is not None:
@@ -376,25 +460,37 @@ class ProcessExecutor(ClientExecutor):
             initializer=_init_worker,
             initargs=(self._spec, self._clients, self._shm.name, self._n_params),
         )
+        self.tracer.metrics.counter("runtime.executor.pool_starts").inc()
 
     def run_round(self, plan, participants):
         self._ensure_started()
+        tracer = self.tracer
         # The workers hold a snapshot of the bound client objects, so a
         # participant that is not that exact object (new id, or an entry
         # swapped in after binding) would silently run stale code/data.
         for client in participants:
             if self._by_id.get(client.client_id) is not client:
-                raise ClientExecutionError(
+                error = ClientExecutionError(
                     client.client_id,
                     f"client {client.client_id} is not among the objects "
                     "this process pool was started with; re-bind() the "
                     "executor to pick up the changed federation",
+                    iteration=plan.iteration,
+                    backend=self.name,
+                    cause_type="IdentityMismatch",
                 )
+                _trace_client_error(tracer, error)
+                raise error
+        shm_start = monotonic()
         broadcast = np.ndarray(
             (self._n_params,), dtype=np.float64, buffer=self._shm.buf
         )
         np.copyto(broadcast, np.asarray(plan.global_params, dtype=np.float64))
         del broadcast  # release the exported shm buffer view immediately
+        _emit_broadcast_span(
+            tracer, plan, rt={"shm": True, "dur": monotonic() - shm_start}
+        )
+        round_start = monotonic()
         futures = [
             self._pool.submit(
                 _run_client_task,
@@ -403,13 +499,18 @@ class ProcessExecutor(ClientExecutor):
                 plan.lr,
                 plan.local_epochs,
                 plan.batch_size,
+                monotonic(),
             )
             for client in participants
         ]
-        payloads = _collect_in_order(futures, participants)
+        payloads = _collect_in_order(
+            futures, participants,
+            plan=plan, backend=self.name, tracer=tracer, started=round_start,
+        )
         results: List[ClientUpdate] = []
-        for client, (result, rng_state) in zip(participants, payloads):
+        for client, (result, rng_state, timing) in zip(participants, payloads):
             client.set_rng_state(rng_state)
+            _emit_task_span(tracer, plan, client, timing)
             results.append(result)
         return results
 
@@ -429,16 +530,100 @@ class ProcessExecutor(ClientExecutor):
         return f"ProcessExecutor(n_workers={self.n_workers})"
 
 
+def _emit_broadcast_span(tracer, plan: RoundPlan, rt: Dict[str, Any]) -> None:
+    """The per-round parameter broadcast as an already-timed span.
+
+    For serial/thread backends the broadcast is a shared read-only
+    array (``dur`` 0); the process backend measures its shared-memory
+    copy.  ``shm``/``dur`` are runtime data — the deterministic attrs
+    are the same on every backend.
+    """
+    if not tracer.enabled:
+        return
+    tracer.record_span(
+        "broadcast",
+        attrs={
+            "iteration": plan.iteration,
+            "n_params": int(np.asarray(plan.global_params).size),
+        },
+        rt=rt,
+    )
+
+
+def _emit_task_span(
+    tracer, plan: RoundPlan, client: FLClient, timing: Tuple[float, float, str]
+) -> None:
+    """Replay one client task as a ``client_compute`` span.
+
+    Executors time tasks wherever the work physically ran, then call
+    this on the coordinating thread in participant order, so the span
+    sequence is deterministic while ``rt`` keeps the real queue wait,
+    duration and worker identity.
+    """
+    if not tracer.enabled:
+        return
+    queue_wait, dur, worker = timing
+    tracer.metrics.histogram("runtime.executor.queue_wait").observe(queue_wait)
+    tracer.record_span(
+        "client_compute",
+        attrs={"iteration": plan.iteration, "client_id": client.client_id},
+        rt={"queue_wait": queue_wait, "dur": dur, "worker": worker},
+    )
+
+
+def _trace_client_error(tracer, error: ClientExecutionError) -> None:
+    """Emit a failure as a ``client_error`` point event."""
+    if not tracer.enabled:
+        return
+    tracer.event(
+        "client_error",
+        attrs={
+            "client_id": error.client_id,
+            "iteration": error.iteration,
+            "error": error.cause_type or type(error).__name__,
+        },
+        rt={"elapsed": error.elapsed_s, "backend": error.backend},
+    )
+
+
+def _client_failure(
+    exc: BaseException,
+    client: FLClient,
+    plan: Optional[RoundPlan],
+    backend: str,
+    elapsed: Optional[float],
+    tracer,
+) -> ClientExecutionError:
+    """Wrap a client failure with its structured context + trace event."""
+    error = ClientExecutionError(
+        client.client_id,
+        f"client {client.client_id} failed during local "
+        f"computation: {type(exc).__name__}: {exc}",
+        iteration=plan.iteration if plan is not None else None,
+        backend=backend,
+        elapsed_s=elapsed,
+        cause_type=type(exc).__name__,
+    )
+    _trace_client_error(tracer, error)
+    return error
+
+
 def _collect_in_order(
-    futures: Sequence[Future], participants: Sequence[FLClient]
+    futures: Sequence[Future],
+    participants: Sequence[FLClient],
+    plan: Optional[RoundPlan] = None,
+    backend: str = "?",
+    tracer=NULL_TRACER,
+    started: Optional[float] = None,
 ) -> List[Any]:
     """Resolve futures in participant order, naming the failing client.
 
     Any failure — an exception raised inside a client's local training
     or a worker process dying outright (``BrokenProcessPool``) — is
-    re-raised as :class:`ClientExecutionError` carrying the client id,
-    so a crashed worker surfaces immediately instead of hanging the
-    round.  Remaining futures are cancelled best-effort.
+    re-raised as :class:`ClientExecutionError` carrying the client id
+    plus round/backend/elapsed context, so a crashed worker surfaces
+    immediately instead of hanging the round.  Remaining futures are
+    cancelled best-effort.
     """
     results: List[Any] = []
     for client, future in zip(participants, futures):
@@ -447,10 +632,9 @@ def _collect_in_order(
         except Exception as exc:
             for pending in futures:
                 pending.cancel()
-            raise ClientExecutionError(
-                client.client_id,
-                f"client {client.client_id} failed during local "
-                f"computation: {type(exc).__name__}: {exc}",
+            elapsed = monotonic() - started if started is not None else None
+            raise _client_failure(
+                exc, client, plan, backend, elapsed, tracer
             ) from exc
     return results
 

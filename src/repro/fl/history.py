@@ -2,12 +2,17 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
 
 import numpy as np
 
-__all__ = ["RoundRecord", "RunHistory"]
+__all__ = ["HISTORY_SCHEMA", "RoundRecord", "RunHistory"]
+
+#: Schema tag of the JSONL serialisation (header line of every file).
+HISTORY_SCHEMA = "repro-run-history/v1"
 
 
 @dataclass
@@ -83,3 +88,51 @@ class RunHistory:
             return np.array([]), np.array([]), np.array([])
         arr = np.asarray(rows, dtype=float)
         return arr[:, 0], arr[:, 1], arr[:, 2]
+
+    # -- JSONL round-trip ----------------------------------------------
+
+    def to_jsonl(self, path: Optional[Union[str, Path]] = None) -> str:
+        """Serialise as JSON lines: a schema header, then one record per line.
+
+        Returns the text; also writes it to ``path`` when given.  The
+        format round-trips exactly through :meth:`from_jsonl` (plain
+        ints/floats only, so equality is bitwise).
+        """
+        lines = [
+            json.dumps(
+                {"schema": HISTORY_SCHEMA, "policy_name": self.policy_name},
+                sort_keys=True,
+            )
+        ]
+        lines.extend(
+            json.dumps(asdict(record), sort_keys=True) for record in self.records
+        )
+        text = "\n".join(lines) + "\n"
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_jsonl(cls, source: Union[str, Path]) -> "RunHistory":
+        """Rebuild a history from :meth:`to_jsonl` output.
+
+        ``source`` may be a path to a ``.jsonl`` file or the serialised
+        text itself (recognised by its leading ``{``).
+        """
+        if isinstance(source, Path) or not source.lstrip().startswith("{"):
+            text = Path(source).read_text(encoding="utf-8")
+        else:
+            text = source
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise ValueError("empty run-history serialisation")
+        header = json.loads(lines[0])
+        if header.get("schema") != HISTORY_SCHEMA:
+            raise ValueError(
+                f"expected schema {HISTORY_SCHEMA!r}, "
+                f"got {header.get('schema')!r}"
+            )
+        history = cls(policy_name=header["policy_name"])
+        for line in lines[1:]:
+            history.append(RoundRecord(**json.loads(line)))
+        return history

@@ -31,6 +31,7 @@ from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.sampling import ClientSampler, FullParticipation
 from repro.fl.server import FLServer
 from repro.fl.workspace import ModelWorkspace
+from repro.obs import JsonlSink, MemorySink, NULL_TRACER, Tracer
 
 __all__ = ["FederatedTrainer"]
 
@@ -64,6 +65,7 @@ class FederatedTrainer:
         sampler: Optional[ClientSampler] = None,
         executor: Union[None, str, ClientExecutor] = None,
         workspace_spec: Optional[WorkspaceSpec] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -81,7 +83,25 @@ class FederatedTrainer:
             weighted=config.weighted_aggregation,
             feedback_staleness=feedback_staleness,
         )
-        self.ledger = CommunicationLedger(n_params=self.server.n_params)
+        # Observability: an explicit tracer wins; otherwise the config
+        # knobs build one (JSONL file if trace_path, else in-memory).
+        # The trainer closes only tracers it built itself.
+        self._owns_tracer = False
+        if tracer is not None:
+            self.tracer = tracer
+        elif config.trace_enabled:
+            sink = (
+                JsonlSink(config.trace_path)
+                if config.trace_path
+                else MemorySink()
+            )
+            self.tracer = Tracer(sinks=[sink])
+            self._owns_tracer = True
+        else:
+            self.tracer = NULL_TRACER
+        self.ledger = CommunicationLedger(
+            n_params=self.server.n_params, metrics=self.tracer.metrics
+        )
         self.history = RunHistory(policy_name=policy.name)
         # Client-execution engine: ``executor`` overrides the config's
         # backend name; a ready-made ClientExecutor is used as-is.
@@ -89,13 +109,19 @@ class FederatedTrainer:
             config.executor if executor is None else executor,
             n_workers=config.executor_workers,
         )
-        self.executor.bind(workspace, self.clients, spec=workspace_spec)
+        self.executor.bind(
+            workspace, self.clients, spec=workspace_spec, tracer=self.tracer
+        )
         # Hook for measurement experiments: called with every
         # (client update, decision) pair before aggregation.
         self.on_decision: Optional[Callable] = None
 
     def run_round(self, t: int) -> RoundRecord:
         """Execute one synchronous iteration (1-based index ``t``)."""
+        with self.tracer.span("round", iteration=t) as round_span:
+            return self._run_round(t, round_span)
+
+    def _run_round(self, t: int, round_span) -> RoundRecord:
         lr = self.config.lr(t)
         feedback = self.server.feedback
         global_params = self.server.global_params.copy()
@@ -103,10 +129,12 @@ class FederatedTrainer:
         participants = self.sampler.select(t, self.clients)
         if not participants:
             raise RuntimeError(f"sampler selected no clients in round {t}")
+        round_span.set_attr("n_participants", len(participants))
 
         # Compute half: fan the participants out through the executor.
         # Results come back aligned with the participant order whatever
-        # the backend's completion order was.
+        # the backend's completion order was.  The executor itself emits
+        # the broadcast + per-client client_compute spans.
         plan = RoundPlan(
             iteration=t,
             lr=lr,
@@ -129,39 +157,53 @@ class FederatedTrainer:
         scores: List[float] = []
         losses: List[float] = []
         threshold = 0.0
-        for client, result in zip(participants, results):
-            if self.config.check_finite:
-                _ensure_finite(
-                    result.update,
-                    f"update from client {client.client_id} in round {t}",
+        with self.tracer.span("decide", iteration=t):
+            for client, result in zip(participants, results):
+                with self.tracer.span(
+                    "relevance_check", iteration=t, client_id=client.client_id
+                ) as check_span:
+                    if self.config.check_finite:
+                        _ensure_finite(
+                            result.update,
+                            f"update from client {client.client_id} "
+                            f"in round {t}",
+                        )
+                    decision = self.policy.decide(
+                        result.update, round_ctx.for_client(client.client_id)
+                    )
+                    check_span.set_attr("upload", bool(decision.upload))
+                    check_span.set_attr("score", float(decision.score))
+                if self.on_decision is not None:
+                    self.on_decision(result, decision)
+                scores.append(decision.score)
+                losses.append(result.train_loss)
+                threshold = decision.threshold
+                if decision.upload:
+                    uploads.append(result)
+                else:
+                    skipped.append(result)
+
+            if not uploads and self.config.on_empty_round == "force_best":
+                best = int(np.argmax(scores))
+                forced = next(
+                    u for u in skipped
+                    if u.client_id == participants[best].client_id
                 )
-            decision = self.policy.decide(
-                result.update, round_ctx.for_client(client.client_id)
-            )
-            if self.on_decision is not None:
-                self.on_decision(result, decision)
-            scores.append(decision.score)
-            losses.append(result.train_loss)
-            threshold = decision.threshold
-            if decision.upload:
-                uploads.append(result)
-            else:
-                skipped.append(result)
+                skipped.remove(forced)
+                uploads.append(forced)
+                self.tracer.event(
+                    "force_best",
+                    attrs={"iteration": t, "client_id": forced.client_id},
+                )
+        round_span.set_attr("n_uploaded", len(uploads))
 
-        if not uploads and self.config.on_empty_round == "force_best":
-            best = int(np.argmax(scores))
-            forced = next(
-                u for u in skipped if u.client_id == participants[best].client_id
+        with self.tracer.span("aggregate", iteration=t, n_uploads=len(uploads)):
+            aggregate = self.server.apply_round(uploads)
+            if self.config.check_finite and aggregate is not None:
+                _ensure_finite(aggregate, f"aggregated delta of round {t}")
+            self.ledger.record_round(
+                [u.client_id for u in uploads], [s.client_id for s in skipped]
             )
-            skipped.remove(forced)
-            uploads.append(forced)
-
-        aggregate = self.server.apply_round(uploads)
-        if self.config.check_finite and aggregate is not None:
-            _ensure_finite(aggregate, f"aggregated delta of round {t}")
-        self.ledger.record_round(
-            [u.client_id for u in uploads], [s.client_id for s in skipped]
-        )
 
         record = RoundRecord(
             iteration=t,
@@ -176,8 +218,13 @@ class FederatedTrainer:
             uploaded_ids=[u.client_id for u in uploads],
         )
         if self.eval_fn is not None and t % self.config.eval_every == 0:
-            self.workspace.load_flat(self.server.global_params)
-            record.test_loss, record.test_metric = self.eval_fn(self.workspace)
+            with self.tracer.span("evaluate", iteration=t) as eval_span:
+                self.workspace.load_flat(self.server.global_params)
+                record.test_loss, record.test_metric = self.eval_fn(
+                    self.workspace
+                )
+                eval_span.set_attr("test_loss", record.test_loss)
+                eval_span.set_attr("test_metric", record.test_metric)
         self.history.append(record)
         return record
 
@@ -187,18 +234,31 @@ class FederatedTrainer:
         if total < 1:
             raise ValueError("rounds must be >= 1")
         start = len(self.history) + 1
-        for t in range(start, start + total):
-            self.run_round(t)
+        with self.tracer.span(
+            "run",
+            policy=self.policy.name,
+            rounds=total,
+            start_iteration=start,
+        ) as run_span:
+            run_span.set_rt("backend", self.executor.name)
+            run_span.set_rt("workers", getattr(self.executor, "n_workers", 1))
+            for t in range(start, start + total):
+                self.run_round(t)
         return self.history
 
     def close(self) -> None:
         """Release executor resources (worker pools, shared memory).
 
-        A no-op for the serial backend; idempotent everywhere.  The
-        trainer remains usable afterwards — thread/process backends
-        lazily restart their pools on the next round.
+        A no-op for the serial backend; idempotent everywhere — except
+        that a tracer the trainer built from the config knobs is closed
+        too (final metrics snapshot + sink flush), so a traced trainer
+        should not run further rounds after ``close``.  The executor
+        itself remains usable — thread/process backends lazily restart
+        their pools on the next round.
         """
         self.executor.close()
+        if self._owns_tracer:
+            self.tracer.close()
 
     def __enter__(self) -> "FederatedTrainer":
         return self

@@ -19,6 +19,7 @@ __all__ = [
     "ExplicitDtypeRule",
     "NoGlobalRngRule",
     "NoParamMutationRule",
+    "NoPrintInLibraryRule",
     "NoSequentialClientLoopRule",
     "NoWallclockSeedRule",
     "UnusedPureResultRule",
@@ -590,6 +591,48 @@ class NoSequentialClientLoopRule(LintRule):
     visit_DictComp = _visit_comprehension
 
 
+class NoPrintInLibraryRule(LintRule):
+    """Library code must not ``print``; observability goes through sinks.
+
+    A stray ``print`` in ``core``/``fl``/``nn`` writes to whatever
+    stdout happens to be attached — invisible in a worker process,
+    corrupting piped output, impossible to assert on.  Diagnostics
+    belong in the :mod:`repro.obs` event stream (or an explicit
+    ``stream.write`` on a caller-supplied stream); only CLI entry
+    points and experiment scripts, which own their stdout, may print.
+    """
+
+    name = "no-print-in-library"
+    description = (
+        "library modules must not call print(); route diagnostics "
+        "through repro.obs sinks (CLI/experiment scripts are exempt)"
+    )
+
+    #: Package-relative files/dirs (trailing '/') that own their stdout.
+    DEFAULT_ALLOWED = ("lint/cli.py", "tools/", "experiments/")
+
+    def _allowed_here(self) -> bool:
+        allowed = tuple(self.settings.option("allow_in", self.DEFAULT_ALLOWED))
+        path = self.ctx.package_path
+        return any(
+            path.startswith(entry) if entry.endswith("/") else path == entry
+            for entry in allowed
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+            and not self._allowed_here()
+        ):
+            self.report(
+                node,
+                "print() in library code; emit through a repro.obs sink "
+                "or write to a caller-supplied stream instead",
+            )
+        self.generic_visit(node)
+
+
 class AllExportsRule(LintRule):
     """Every public module must define an accurate ``__all__``.
 
@@ -735,6 +778,7 @@ DEFAULT_RULES: Tuple[type, ...] = (
     NoGlobalRngRule,
     ExplicitDtypeRule,
     NoParamMutationRule,
+    NoPrintInLibraryRule,
     NoSequentialClientLoopRule,
     NoWallclockSeedRule,
     UnusedPureResultRule,

@@ -1,0 +1,71 @@
+"""``repro.obs`` — zero-dependency tracing, metrics and profiling.
+
+The observability layer of the reproduction: a :class:`Tracer` emits
+nested spans (``run``/``round``/``broadcast``/``client_compute``/
+``relevance_check``/``decide``/``aggregate``/``evaluate``) with
+monotonic-clock durations, a :class:`MetricsRegistry` streams counters,
+gauges and histograms, and pluggable sinks persist the event stream
+(in-memory, JSON-lines, human-readable summary).
+
+The central invariant is the *determinism contract*: event ordering and
+payloads are a pure function of the run, identical across the
+serial/thread/process execution backends; every wall-clock or
+scheduling-dependent value is confined to the ``rt`` event attribute
+and the ``runtime.*`` metric namespace, which
+:func:`~repro.obs.report.deterministic_view` masks.  See
+:mod:`repro.obs.tracer` for the schema and DESIGN.md §6c for the full
+contract.
+
+Render or diff a trace file with ``python -m repro.obs``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    RUNTIME_PREFIX,
+)
+from repro.obs.sinks import JsonlSink, MemorySink, SummarySink, TraceSink
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, TRACE_SCHEMA, Tracer
+from repro.obs.report import (
+    comm_totals,
+    deterministic_view,
+    diff_traces,
+    format_report,
+    load_trace,
+    phase_summary,
+    round_rows,
+    trace_digest,
+    trace_to_timing_payload,
+    validate_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "RUNTIME_PREFIX",
+    "JsonlSink",
+    "MemorySink",
+    "SummarySink",
+    "TraceSink",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "comm_totals",
+    "deterministic_view",
+    "diff_traces",
+    "format_report",
+    "load_trace",
+    "phase_summary",
+    "round_rows",
+    "trace_digest",
+    "trace_to_timing_payload",
+    "validate_trace",
+]

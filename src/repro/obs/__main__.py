@@ -1,0 +1,101 @@
+"""``python -m repro.obs`` — render, validate, digest and diff traces.
+
+    python -m repro.obs report trace.jsonl [--history run.jsonl]
+    python -m repro.obs validate trace.jsonl
+    python -m repro.obs digest trace.jsonl
+    python -m repro.obs diff a.jsonl b.jsonl
+
+``report`` prints the per-phase time/bytes breakdown; ``diff`` compares
+two traces under the deterministic view (timestamps and other runtime
+data masked) and exits non-zero when the runs diverged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.obs.report import (
+    diff_traces,
+    format_report,
+    load_trace,
+    trace_digest,
+    validate_trace,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="inspect repro-trace/v1 JSONL trace files",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="per-phase time/bytes breakdown")
+    report.add_argument("trace", type=Path)
+    report.add_argument(
+        "--history",
+        type=Path,
+        default=None,
+        help="RunHistory JSONL to join round records by iteration",
+    )
+
+    validate = sub.add_parser("validate", help="schema-check a trace file")
+    validate.add_argument("trace", type=Path)
+
+    digest = sub.add_parser(
+        "digest", help="SHA-256 of the deterministic view"
+    )
+    digest.add_argument("trace", type=Path)
+
+    diff = sub.add_parser(
+        "diff", help="compare two traces modulo runtime data"
+    )
+    diff.add_argument("a", type=Path)
+    diff.add_argument("b", type=Path)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "report":
+            events = load_trace(args.trace)
+            history = None
+            if args.history is not None:
+                from repro.fl.history import RunHistory
+
+                history = RunHistory.from_jsonl(args.history)
+            print(format_report(events, history=history))
+            return 0
+        if args.command == "validate":
+            problems = validate_trace(load_trace(args.trace))
+            if problems:
+                for problem in problems:
+                    print(problem, file=sys.stderr)
+                return 1
+            print(f"{args.trace}: valid repro-trace/v1")
+            return 0
+        if args.command == "digest":
+            print(trace_digest(load_trace(args.trace)))
+            return 0
+        if args.command == "diff":
+            differences = diff_traces(load_trace(args.a), load_trace(args.b))
+            if differences:
+                for difference in differences:
+                    print(difference)
+                return 1
+            print("traces are equivalent modulo runtime data")
+            return 0
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

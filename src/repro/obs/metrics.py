@@ -1,0 +1,235 @@
+"""Counters, gauges and histograms for the observability layer.
+
+A :class:`MetricsRegistry` is a named collection of instruments.  Every
+update is (optionally) streamed as a ``metric`` event through the
+owning tracer's sinks, so a trace file carries the full metric history,
+not just final values.
+
+Determinism contract (see :mod:`repro.obs.tracer`): a metric whose name
+starts with ``runtime.`` is *runtime-dependent* — its values (queue
+waits, pool restarts, worker timings) vary with scheduling and backend.
+Runtime metrics carry their values inside the event's ``rt`` attribute
+and are dropped entirely by :func:`repro.obs.report.deterministic_view`,
+so traces of the same run under different execution backends digest
+identically.  Everything else (uploads, rejected updates, bytes on the
+wire) must be bitwise-deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "RUNTIME_PREFIX",
+]
+
+#: Metric-name prefix marking runtime-dependent (nondeterministic) data.
+RUNTIME_PREFIX = "runtime."
+
+#: Emit callback: (name, metric_type, fields, runtime) -> None.
+EmitFn = Callable[[str, str, Dict[str, Any], bool], None]
+
+
+class _Instrument:
+    """Shared plumbing: a name, a runtime flag and the emit callback."""
+
+    metric_type = "instrument"
+    __slots__ = ("name", "runtime", "_emit")
+
+    def __init__(self, name: str, emit: Optional[EmitFn] = None) -> None:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        self.name = name
+        self.runtime = name.startswith(RUNTIME_PREFIX)
+        self._emit = emit
+
+    def _stream(self, fields: Dict[str, Any]) -> None:
+        if self._emit is not None:
+            self._emit(self.name, self.metric_type, fields, self.runtime)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count (uploads, bytes, restarts)."""
+
+    metric_type = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, emit: Optional[EmitFn] = None) -> None:
+        super().__init__(name, emit)
+        self.value = 0
+
+    def inc(self, delta: int = 1) -> None:
+        if delta < 0:
+            raise ValueError(f"counter {self.name!r}: delta must be >= 0")
+        self.value += delta
+        self._stream({"delta": delta, "value": self.value})
+
+    def summary(self) -> Dict[str, Any]:
+        return {"type": self.metric_type, "value": self.value}
+
+
+class Gauge(_Instrument):
+    """A point-in-time value that can move both ways."""
+
+    metric_type = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, emit: Optional[EmitFn] = None) -> None:
+        super().__init__(name, emit)
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self._stream({"value": value})
+
+    def summary(self) -> Dict[str, Any]:
+        return {"type": self.metric_type, "value": self.value}
+
+
+class Histogram(_Instrument):
+    """Streaming count/sum/min/max over observed values (queue waits)."""
+
+    metric_type = "histogram"
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self, name: str, emit: Optional[EmitFn] = None) -> None:
+        super().__init__(name, emit)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self._stream({"value": value})
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "type": self.metric_type,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments.
+
+    ``emit`` (wired up by :class:`~repro.obs.tracer.Tracer`) streams
+    every update into the trace; a registry constructed without it is a
+    plain in-memory store, usable standalone in tests.
+    """
+
+    def __init__(self, emit: Optional[EmitFn] = None) -> None:
+        self._emit = emit
+        self._metrics: Dict[str, _Instrument] = {}
+
+    def _get(self, name: str, cls: type) -> Any:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.metric_type}, not {cls.metric_type}"
+                )
+            return existing
+        instrument = cls(name, emit=self._emit)
+        self._metrics[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self, runtime: Optional[bool] = None) -> Dict[str, Dict]:
+        """Name-sorted ``{name: summary}``; filter by the runtime flag.
+
+        ``runtime=False`` returns only deterministic metrics (safe to
+        compare across execution backends), ``runtime=True`` only the
+        ``runtime.*`` namespace, ``None`` everything.
+        """
+        return {
+            name: metric.summary()
+            for name, metric in sorted(self._metrics.items())
+            if runtime is None or metric.runtime == runtime
+        }
+
+
+class _NullInstrument:
+    """Accepts any update and does nothing; shared singleton."""
+
+    __slots__ = ()
+    value = None
+    count = 0
+    total = 0.0
+
+    def inc(self, delta: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def summary(self) -> Dict[str, Any]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """The disabled-path registry: every lookup is the same no-op object.
+
+    Keeps instrumented call sites (``metrics.counter(...).inc(...)``)
+    allocation-free when tracing is off.
+    """
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+    def snapshot(self, runtime: Optional[bool] = None) -> Dict[str, Dict]:
+        return {}

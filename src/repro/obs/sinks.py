@@ -1,0 +1,142 @@
+"""Pluggable destinations for trace events.
+
+Sinks receive finished event dicts (see :mod:`repro.obs.tracer` for the
+schema) in emission order.  Three are shipped:
+
+* :class:`MemorySink` — keeps events in a list (tests, in-process
+  inspection);
+* :class:`JsonlSink` — one JSON object per line, opened lazily so an
+  enabled-but-never-used tracer creates no file;
+* :class:`SummarySink` — accumulates per-phase aggregates and writes a
+  human-readable table to a stream when closed.
+
+Library code must never ``print``; the summary sink writes to the
+stream it was given (default ``sys.stderr``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, TextIO, Union
+
+from repro.utils.tables import format_table
+
+__all__ = ["JsonlSink", "MemorySink", "SummarySink", "TraceSink", "encode_event"]
+
+
+def _json_default(obj: Any) -> Any:
+    """Coerce numpy scalars (which expose ``.item()``) without importing
+    numpy — the obs layer stays stdlib-only."""
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"not JSON serialisable: {type(obj).__name__}")
+
+
+def encode_event(event: Dict[str, Any]) -> str:
+    """The canonical wire encoding: compact, key-sorted JSON."""
+    return json.dumps(
+        event, sort_keys=True, separators=(",", ":"), default=_json_default
+    )
+
+
+class TraceSink:
+    """Interface: receive events in order, release resources on close."""
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release; idempotent."""
+
+
+class MemorySink(TraceSink):
+    """Collects events in-process; the default sink for tests."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink(TraceSink):
+    """Streams events to a JSON-lines file (the ``trace_path`` format)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh: Optional[TextIO] = None
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "w", encoding="utf-8")
+        self._fh.write(encode_event(event))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __repr__(self) -> str:
+        return f"JsonlSink({str(self.path)!r})"
+
+
+class SummarySink(TraceSink):
+    """Streams span aggregates; renders a per-phase table on close.
+
+    Only constant-size per-phase accumulators are kept (count, total
+    duration), so the sink is safe on arbitrarily long runs.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._spans: Dict[str, List[float]] = {}  # name -> [count, total_s]
+        self._counters: Dict[str, Any] = {}
+        self._closed = False
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        kind = event.get("kind")
+        if kind == "span":
+            entry = self._spans.setdefault(event["name"], [0, 0.0])
+            entry[0] += 1
+            entry[1] += float(event.get("rt", {}).get("dur", 0.0))
+        elif kind == "metric":
+            attrs = event.get("attrs", {})
+            if attrs.get("type") == "counter" and "value" in attrs:
+                self._counters[event["name"]] = attrs["value"]
+
+    def render(self) -> str:
+        rows = [
+            [name, int(count), total, (total / count) * 1e3 if count else 0.0]
+            for name, (count, total) in sorted(self._spans.items())
+        ]
+        parts = [
+            format_table(
+                ["phase", "spans", "total_s", "mean_ms"],
+                rows,
+                title="trace summary (per-phase wall time)",
+            )
+        ]
+        if self._counters:
+            parts.append(
+                format_table(
+                    ["counter", "value"],
+                    [[k, v] for k, v in sorted(self._counters.items())],
+                )
+            )
+        return "\n\n".join(parts)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.stream.write(self.render() + "\n")

@@ -1,0 +1,330 @@
+"""Structured tracing: nested spans, point events, streamed metrics.
+
+One :class:`Tracer` serves one run.  It emits dict events to its sinks
+in a single deterministic order; the federated round produces the span
+hierarchy::
+
+    run
+      round
+        broadcast                    (per round, emitted by the executor)
+        client_compute x N           (participant order, whatever backend)
+        decide
+          relevance_check x N        (participant order)
+        aggregate
+        evaluate                     (rounds that evaluate)
+
+Event schema (one JSON object per line in a ``.jsonl`` trace)::
+
+    {"seq": 12, "kind": "span", "name": "client_compute", "id": 7,
+     "parent": 3, "attrs": {"iteration": 1, "client_id": 4},
+     "rt": {"ts": 8.1, "dur": 0.03, "queue_wait": 0.001, "worker": "..."}}
+
+``kind`` is ``header`` | ``span`` | ``point`` | ``metric``.
+
+**Determinism contract.**  Everything outside the ``rt`` attribute —
+event ordering, span nesting, names, ids and ``attrs`` payloads — is a
+pure function of the run's decisions and therefore identical across the
+serial/thread/process execution backends.  All wall-clock and
+scheduling-dependent data (timestamps, durations, queue waits, worker
+identities, backend names, host info) lives in ``rt``, and metrics in
+the ``runtime.*`` namespace keep their values there too.
+:func:`repro.obs.report.deterministic_view` strips ``rt``/``seq`` and
+drops ``runtime.*`` events; two traces of the same run must be equal
+under that view (asserted in ``tests/test_obs.py``).
+
+The default :data:`NULL_TRACER` keeps instrumented code allocation-free
+when tracing is off: ``span()`` returns a shared no-op span and the
+null metrics registry hands back a shared no-op instrument.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from time import monotonic
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.obs.sinks import MemorySink, TraceSink
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TRACE_SCHEMA",
+    "Tracer",
+]
+
+TRACE_SCHEMA = "repro-trace/v1"
+
+
+class Span:
+    """One timed, attributed region; a context manager.
+
+    ``attrs`` must stay deterministic (see the module contract); use
+    :meth:`set_rt` for anything wall-clock or scheduling dependent.
+    """
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "_tracer", "_start", "_rt")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self._start = 0.0
+        self._rt: Optional[Dict[str, Any]] = None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach a deterministic attribute (visible to trace diffs)."""
+        self.attrs[key] = value
+
+    def set_rt(self, key: str, value: Any) -> None:
+        """Attach runtime-dependent data (masked by trace diffs)."""
+        if self._rt is None:
+            self._rt = {}
+        self._rt[key] = value
+
+    def __enter__(self) -> "Span":
+        self._tracer._open_span(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._close_span(self)
+        return False
+
+
+class Tracer:
+    """Emits spans, point events and metric updates to its sinks.
+
+    Not thread-safe by design: all emission happens on the coordinating
+    thread (the trainer's), which is exactly what the deterministic-
+    ordering contract requires.  Executor backends gather per-task
+    timings wherever the work ran and hand them back for ordered
+    emission here.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sinks: Optional[Sequence[TraceSink]] = None,
+        clock: Callable[[], float] = monotonic,
+        emit_header: bool = True,
+    ) -> None:
+        self.sinks: List[TraceSink] = list(sinks or ())
+        self.clock = clock
+        self.metrics = MetricsRegistry(emit=self._metric_event)
+        self._seq = 0
+        self._next_id = 1
+        self._stack: List[Span] = []
+        self._closed = False
+        if emit_header:
+            self._emit(
+                {
+                    "kind": "header",
+                    "name": "trace",
+                    "attrs": {"schema": TRACE_SCHEMA},
+                    "rt": {
+                        "ts": self.clock(),
+                        "python": platform.python_version(),
+                        "host_cpus": os.cpu_count(),
+                    },
+                }
+            )
+
+    # -- spans ----------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new span; enter it (``with tracer.span(...)``) to start."""
+        return Span(self, name, attrs)
+
+    def record_span(
+        self,
+        name: str,
+        attrs: Optional[Dict[str, Any]] = None,
+        rt: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Emit an already-timed span as a child of the current span.
+
+        The executor backends time client tasks wherever they physically
+        ran (worker thread/process) and replay them here in participant
+        order; ``rt`` carries the measured ``dur`` (default 0.0) plus
+        any other runtime fields.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        runtime = {"ts": self.clock(), "dur": 0.0}
+        if rt:
+            runtime.update(rt)
+        self._emit(
+            {
+                "kind": "span",
+                "name": name,
+                "id": span_id,
+                "parent": self._stack[-1].span_id if self._stack else None,
+                "attrs": dict(attrs or {}),
+                "rt": runtime,
+            }
+        )
+
+    def _open_span(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        span.parent_id = self._stack[-1].span_id if self._stack else None
+        self._stack.append(span)
+        span._start = self.clock()
+
+    def _close_span(self, span: Span) -> None:
+        end = self.clock()
+        top = self._stack.pop()
+        if top is not span:  # pragma: no cover - misuse guard
+            raise RuntimeError(
+                f"span {span.name!r} closed while {top.name!r} was innermost"
+            )
+        runtime = {"ts": span._start, "dur": end - span._start}
+        if span._rt:
+            runtime.update(span._rt)
+        self._emit(
+            {
+                "kind": "span",
+                "name": span.name,
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "attrs": span.attrs,
+                "rt": runtime,
+            }
+        )
+
+    # -- point events and metrics --------------------------------------
+
+    def event(
+        self,
+        name: str,
+        attrs: Optional[Dict[str, Any]] = None,
+        rt: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """An instantaneous event, parented to the current span."""
+        runtime = {"ts": self.clock()}
+        if rt:
+            runtime.update(rt)
+        self._emit(
+            {
+                "kind": "point",
+                "name": name,
+                "parent": self._stack[-1].span_id if self._stack else None,
+                "attrs": dict(attrs or {}),
+                "rt": runtime,
+            }
+        )
+
+    def _metric_event(
+        self, name: str, metric_type: str, fields: Dict[str, Any], runtime: bool
+    ) -> None:
+        attrs: Dict[str, Any] = {"type": metric_type}
+        rt: Dict[str, Any] = {"ts": self.clock()}
+        # Runtime metric values are nondeterministic; isolate them in rt
+        # so the deterministic view masks them along with timestamps.
+        (rt if runtime else attrs).update(fields)
+        self._emit({"kind": "metric", "name": name, "attrs": attrs, "rt": rt})
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        event["seq"] = self._seq
+        self._seq += 1
+        for sink in self.sinks:
+            sink.emit(event)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def memory_events(self) -> Optional[List[Dict[str, Any]]]:
+        """The event list of the first :class:`MemorySink`, if any."""
+        for sink in self.sinks:
+            if isinstance(sink, MemorySink):
+                return sink.events
+        return None
+
+    def close(self) -> None:
+        """Emit the final metrics snapshot and close every sink.
+
+        Idempotent.  The snapshot separates deterministic metrics
+        (``attrs``) from ``runtime.*`` ones (``rt``), like every other
+        event.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if len(self.metrics):
+            self.event(
+                "metrics_snapshot",
+                attrs={"metrics": self.metrics.snapshot(runtime=False)},
+                rt={"metrics": self.metrics.snapshot(runtime=True)},
+            )
+        for sink in self.sinks:
+            sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled path."""
+
+    __slots__ = ()
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def set_rt(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_METRICS = NullMetricsRegistry()
+
+
+class NullTracer:
+    """The default tracer: every operation is a constant-time no-op.
+
+    No events, no allocations beyond the interpreter's argument
+    handling, no I/O — instrumented hot paths cost a method call.
+    """
+
+    enabled = False
+    metrics = _NULL_METRICS
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record_span(self, name, attrs=None, rt=None) -> None:
+        pass
+
+    def event(self, name, attrs=None, rt=None) -> None:
+        pass
+
+    def memory_events(self) -> None:
+        return None
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullTracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+#: Shared disabled tracer; instrumented modules default to this.
+NULL_TRACER = NullTracer()

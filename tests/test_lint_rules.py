@@ -11,6 +11,7 @@ from repro.lint.rules import (
     ExplicitDtypeRule,
     NoGlobalRngRule,
     NoParamMutationRule,
+    NoPrintInLibraryRule,
     NoSequentialClientLoopRule,
     NoWallclockSeedRule,
     UnusedPureResultRule,
@@ -522,6 +523,61 @@ class TestNoSequentialClientLoop:
         ) == []
 
 
+class TestNoPrintInLibrary:
+    def test_print_in_library_module_fires(self):
+        source = """\
+            def aggregate(updates):
+                print("aggregating", len(updates))
+                return sum(updates)
+        """
+        assert rules_fired(
+            source, NoPrintInLibraryRule, relpath="fl/aggregation.py"
+        ) == ["no-print-in-library"]
+
+    def test_default_allowed_locations_are_exempt(self):
+        source = 'print("hello")\n'
+        for relpath in (
+            "lint/cli.py", "tools/report.py", "experiments/fig1.py",
+            "experiments/sub/probe.py",
+        ):
+            assert rules_fired(
+                source, NoPrintInLibraryRule, relpath=relpath
+            ) == []
+
+    def test_shadowed_print_method_does_not_fire(self):
+        source = """\
+            def render(table):
+                table.print()
+        """
+        assert rules_fired(
+            source, NoPrintInLibraryRule, relpath="utils/tables.py"
+        ) == []
+
+    def test_allow_in_option_extends_exemptions(self):
+        source = 'print("cli output")\n'
+        config = LintConfig(
+            rules={"no-print-in-library": {"allow_in": ["obs/__main__.py"]}}
+        )
+        assert rules_fired(
+            source, NoPrintInLibraryRule,
+            relpath="obs/__main__.py", config=config,
+        ) == []
+        # The option replaces the default list: tools/ is no longer exempt.
+        assert rules_fired(
+            source, NoPrintInLibraryRule,
+            relpath="tools/report.py", config=config,
+        ) == ["no-print-in-library"]
+
+    def test_suppression(self):
+        source = """\
+            def debug(x):
+                print(x)  # repro-lint: disable=no-print-in-library
+        """
+        assert rules_fired(
+            source, NoPrintInLibraryRule, relpath="fl/probe.py"
+        ) == []
+
+
 class TestAgainstRealTree:
     """The shipped tree is the ultimate fixture: rules run clean on it."""
 
@@ -531,6 +587,7 @@ class TestAgainstRealTree:
             NoGlobalRngRule,
             ExplicitDtypeRule,
             NoParamMutationRule,
+            NoPrintInLibraryRule,
             NoSequentialClientLoopRule,
             NoWallclockSeedRule,
             UnusedPureResultRule,

@@ -1,0 +1,364 @@
+"""The repro.obs observability layer: span nesting, sinks, metrics,
+and the cross-backend trace-determinism contract."""
+
+import json
+
+import pytest
+
+from repro.core.policy import CMFLPolicy
+from repro.core.thresholds import InverseSqrtThreshold
+from repro.fl.config import EXECUTOR_BACKENDS, FLConfig
+from repro.fl.executor import ClientExecutionError
+from repro.fl.history import HISTORY_SCHEMA, RoundRecord, RunHistory
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    NULL_TRACER,
+    NullMetricsRegistry,
+    NullTracer,
+    SummarySink,
+    TRACE_SCHEMA,
+    Tracer,
+    comm_totals,
+    deterministic_view,
+    diff_traces,
+    load_trace,
+    phase_summary,
+    trace_digest,
+    validate_trace,
+)
+from tests.test_executor import _ExplodingClient, _federation
+
+
+def _memory_tracer():
+    sink = MemorySink()
+    return Tracer(sinks=[sink]), sink
+
+
+class TestSpans:
+    def test_header_is_first_and_schema_tagged(self):
+        tracer, sink = _memory_tracer()
+        tracer.close()
+        head = sink.events[0]
+        assert head["kind"] == "header"
+        assert head["attrs"]["schema"] == TRACE_SCHEMA
+
+    def test_nesting_children_emit_before_parents(self):
+        tracer, sink = _memory_tracer()
+        with tracer.span("outer", label="a"):
+            with tracer.span("inner"):
+                pass
+        tracer.close()
+        spans = [e for e in sink.events if e["kind"] == "span"]
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        inner, outer = spans
+        assert inner["parent"] == outer["id"]
+        assert outer["parent"] is None
+        assert outer["attrs"] == {"label": "a"}
+
+    def test_seq_strictly_increasing_and_durations_nonnegative(self):
+        tracer, sink = _memory_tracer()
+        with tracer.span("a"):
+            tracer.event("tick")
+        with tracer.span("b"):
+            pass
+        tracer.close()
+        seqs = [e["seq"] for e in sink.events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        assert all(
+            e["rt"]["dur"] >= 0 for e in sink.events if e["kind"] == "span"
+        )
+        assert validate_trace(sink.events) == []
+
+    def test_record_span_parents_to_open_span(self):
+        tracer, sink = _memory_tracer()
+        with tracer.span("round"):
+            tracer.record_span(
+                "client_compute", attrs={"client_id": 3}, rt={"dur": 0.25}
+            )
+        tracer.close()
+        recorded = next(
+            e for e in sink.events if e["name"] == "client_compute"
+        )
+        owner = next(e for e in sink.events if e["name"] == "round")
+        assert recorded["parent"] == owner["id"]
+        assert recorded["rt"]["dur"] == 0.25
+
+    def test_exception_inside_span_sets_error_attr(self):
+        tracer, sink = _memory_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        assert sink.events[-1]["attrs"]["error"] == "ValueError"
+
+    def test_close_is_idempotent_and_snapshots_metrics(self):
+        tracer, sink = _memory_tracer()
+        tracer.metrics.counter("comm.uploads").inc(4)
+        tracer.metrics.counter("runtime.executor.pool_starts").inc()
+        tracer.close()
+        tracer.close()
+        snapshots = [
+            e for e in sink.events if e["name"] == "metrics_snapshot"
+        ]
+        assert len(snapshots) == 1
+        assert snapshots[0]["attrs"]["metrics"]["comm.uploads"]["value"] == 4
+        assert "runtime.executor.pool_starts" in snapshots[0]["rt"]["metrics"]
+
+
+class TestSinks:
+    def test_jsonl_roundtrip_preserves_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(sinks=[JsonlSink(path), MemorySink()])
+        with tracer.span("round", iteration=1):
+            tracer.event("tick", attrs={"n": 2})
+        tracer.metrics.counter("comm.uploads").inc(3)
+        tracer.close()
+        assert load_trace(path) == tracer.memory_events()
+
+    def test_jsonl_sink_is_lazy(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        sink = JsonlSink(path)
+        sink.close()
+        assert not path.exists()
+
+    def test_load_trace_names_bad_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq": 0}\nnot json\n')
+        with pytest.raises(ValueError, match="2"):
+            load_trace(path)
+
+    def test_summary_sink_renders_phase_table(self):
+        import io
+
+        out = io.StringIO()
+        tracer = Tracer(sinks=[SummarySink(stream=out)])
+        with tracer.span("round", iteration=1):
+            pass
+        tracer.metrics.counter("comm.uploads").inc(5)
+        tracer.close()
+        text = out.getvalue()
+        assert "round" in text
+        assert "comm.uploads" in text
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram_math(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        registry.gauge("g").set(2.5)
+        hist = registry.histogram("h")
+        for v in (1.0, 3.0, 8.0):
+            hist.observe(v)
+        snap = registry.snapshot()
+        assert snap["c"]["value"] == 5
+        assert snap["g"]["value"] == 2.5
+        assert snap["h"]["count"] == 3
+        assert snap["h"]["min"] == 1.0 and snap["h"]["max"] == 8.0
+        assert hist.mean == pytest.approx(4.0)
+
+    def test_counter_rejects_negative_and_type_conflicts(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+        registry.counter("dual")
+        with pytest.raises(TypeError):
+            registry.gauge("dual")
+
+    def test_runtime_namespace_split(self):
+        registry = MetricsRegistry()
+        registry.counter("comm.uploads").inc()
+        registry.counter("runtime.executor.pool_starts").inc()
+        assert set(registry.snapshot(runtime=False)) == {"comm.uploads"}
+        assert set(registry.snapshot(runtime=True)) == {
+            "runtime.executor.pool_starts"
+        }
+
+    def test_null_registry_is_inert(self):
+        registry = NullMetricsRegistry()
+        registry.counter("x").inc(10)
+        registry.histogram("y").observe(1.0)
+        assert registry.snapshot() == {}
+        assert len(registry) == 0
+
+
+class TestNullTracer:
+    def test_null_tracer_is_shared_and_inert(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("anything", key=1) as span:
+            span.set_attr("a", 1)
+            span.set_rt("b", 2)
+        NULL_TRACER.record_span("x")
+        NULL_TRACER.event("y")
+        NULL_TRACER.metrics.counter("z").inc()
+        assert NULL_TRACER.memory_events() is None
+
+    def test_trainer_defaults_to_null_tracer(self):
+        trainer, _ = _federation(CMFLPolicy(InverseSqrtThreshold(0.8)))
+        assert trainer.tracer is NULL_TRACER
+
+    def test_config_knobs(self):
+        assert not FLConfig().trace_enabled
+        assert FLConfig(trace=True).trace_enabled
+        assert FLConfig(trace_path="/tmp/t.jsonl").trace_enabled
+        with pytest.raises(ValueError, match="trace_path"):
+            FLConfig(trace_path="")
+
+
+def _traced_events(backend):
+    trainer, _ = _federation(
+        CMFLPolicy(InverseSqrtThreshold(0.8)), backend=backend,
+        rounds=3, trace=True,
+    )
+    with trainer:
+        trainer.run()
+    trainer.tracer.close()
+    return trainer, list(trainer.tracer.memory_events())
+
+
+class TestDeterminismContract:
+    def test_backends_produce_identical_deterministic_views(self):
+        views, digests = {}, {}
+        for backend in EXECUTOR_BACKENDS:
+            trainer, events = _traced_events(backend)
+            assert validate_trace(events) == []
+            views[backend] = deterministic_view(events)
+            digests[backend] = trace_digest(events)
+        assert views["serial"] == views["thread"] == views["process"]
+        assert len(set(digests.values())) == 1
+        assert diff_traces(
+            views["serial"], views["thread"]
+        ) == []
+
+    def test_deterministic_view_masks_rt_and_runtime_metrics(self):
+        _, events = _traced_events("thread")
+        view = deterministic_view(events)
+        assert all("rt" not in e and "seq" not in e for e in view)
+        assert all(
+            not e["name"].startswith("runtime.") for e in view
+        )
+        # The raw trace does carry runtime metrics (queue waits).
+        assert any(
+            e["name"].startswith("runtime.") for e in events
+        )
+
+    def test_trace_reproduces_history_and_ledger(self):
+        trainer, events = _traced_events("serial")
+        totals = comm_totals(events)
+        assert totals["comm.uploads"] == trainer.ledger.accumulated_rounds
+        assert (
+            totals["comm.uploaded_bytes"] + totals["comm.status_bytes"]
+            == trainer.ledger.total_bytes
+        )
+        checks = [
+            e for e in events if e["kind"] == "span"
+            and e["name"] == "relevance_check"
+        ]
+        uploaded = {}
+        for check in checks:
+            uploads = uploaded.setdefault(check["attrs"]["iteration"], [])
+            if check["attrs"]["upload"]:
+                uploads.append(check["attrs"]["client_id"])
+        for record in trainer.history:
+            forced = set(record.uploaded_ids) - set(uploaded[record.iteration])
+            # force_best rescues appear as explicit force_best events.
+            for client_id in forced:
+                assert any(
+                    e["name"] == "force_best"
+                    and e["attrs"]["client_id"] == client_id
+                    and e["attrs"]["iteration"] == record.iteration
+                    for e in events
+                )
+            assert len(record.uploaded_ids) == record.n_uploaded
+
+    def test_phase_summary_counts_every_round(self):
+        trainer, events = _traced_events("serial")
+        phases = phase_summary(events)
+        n_rounds = len(trainer.history)
+        n_clients = len(trainer.clients)
+        assert phases["round"]["count"] == n_rounds
+        assert phases["client_compute"]["count"] == n_rounds * n_clients
+        assert phases["relevance_check"]["count"] == n_rounds * n_clients
+        assert phases["run"]["count"] == 1
+
+
+class TestClientExecutionError:
+    def test_structured_context_attributes(self):
+        trainer, _ = _federation(
+            CMFLPolicy(InverseSqrtThreshold(0.8)), backend="thread",
+            client_cls=_ExplodingClient, trace=True,
+        )
+        with trainer:
+            with pytest.raises(ClientExecutionError) as exc:
+                trainer.run(1)
+        error = exc.value
+        assert error.client_id == 0
+        assert error.iteration == 1
+        assert error.backend == "thread"
+        assert error.cause_type == "RuntimeError"
+        assert error.elapsed_s is not None and error.elapsed_s >= 0
+        assert error.context()["client_id"] == 0
+
+    def test_failure_emits_client_error_trace_event(self):
+        trainer, _ = _federation(
+            CMFLPolicy(InverseSqrtThreshold(0.8)), backend="serial",
+            client_cls=_ExplodingClient, trace=True,
+        )
+        with trainer:
+            with pytest.raises(ClientExecutionError):
+                trainer.run(1)
+        events = trainer.tracer.memory_events()
+        failures = [e for e in events if e["name"] == "client_error"]
+        assert len(failures) == 1
+        assert failures[0]["attrs"] == {
+            "client_id": 0, "iteration": 1, "error": "RuntimeError",
+        }
+        assert failures[0]["rt"]["backend"] == "serial"
+
+
+class TestRunHistoryJsonl:
+    def _history(self):
+        history = RunHistory(policy_name="cmfl")
+        history.append(RoundRecord(
+            iteration=1, n_clients=4, n_uploaded=3, accumulated_rounds=3,
+            total_bytes=1200, lr=0.5, mean_train_loss=0.7, mean_score=0.9,
+            threshold=0.8, uploaded_ids=[0, 1, 3],
+        ))
+        history.append(RoundRecord(
+            iteration=2, n_clients=4, n_uploaded=2, accumulated_rounds=5,
+            total_bytes=2100, lr=0.45, mean_train_loss=0.6, mean_score=0.85,
+            threshold=0.75, test_loss=0.55, test_metric=0.8,
+            uploaded_ids=[1, 2],
+        ))
+        return history
+
+    def test_text_roundtrip_is_exact(self):
+        history = self._history()
+        text = history.to_jsonl()
+        rebuilt = RunHistory.from_jsonl(text)
+        assert rebuilt.policy_name == history.policy_name
+        assert [vars(r) for r in rebuilt] == [vars(r) for r in history]
+
+    def test_file_roundtrip_and_schema_header(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        history = self._history()
+        history.to_jsonl(path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["schema"] == HISTORY_SCHEMA
+        rebuilt = RunHistory.from_jsonl(path)
+        assert [vars(r) for r in rebuilt] == [vars(r) for r in history]
+
+    def test_from_jsonl_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            RunHistory.from_jsonl('{"schema": "bogus/v1", "policy_name": "x"}')
+
+    def test_trained_history_roundtrips(self, tmp_path):
+        trainer, _ = _federation(CMFLPolicy(InverseSqrtThreshold(0.8)))
+        with trainer:
+            trainer.run(2)
+        path = tmp_path / "run.jsonl"
+        trainer.history.to_jsonl(path)
+        rebuilt = RunHistory.from_jsonl(path)
+        assert [vars(r) for r in rebuilt] == [vars(r) for r in trainer.history]

@@ -1,0 +1,65 @@
+"""Tier-1 gate: a traced smoke run writes a schema-valid JSONL trace
+whose spans and counters reconcile with the run's own measurements."""
+
+import pytest
+
+from repro.experiments.trace_smoke import run_traced_smoke
+from repro.obs import (
+    comm_totals,
+    load_trace,
+    phase_summary,
+    round_rows,
+    validate_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    path = tmp_path_factory.mktemp("trace") / "smoke.jsonl"
+    trainer = run_traced_smoke(rounds=2, trace_path=str(path))
+    return trainer, load_trace(path)
+
+
+def test_trace_file_is_schema_valid(traced_run):
+    _, events = traced_run
+    assert validate_trace(events) == []
+
+
+def test_trace_reproduces_ledger_totals_exactly(traced_run):
+    trainer, events = traced_run
+    totals = comm_totals(events)
+    assert totals["comm.uploads"] == trainer.ledger.accumulated_rounds
+    assert totals["comm.skips"] == sum(
+        trainer.ledger.skips_per_client.values()
+    )
+    assert (
+        totals["comm.uploaded_bytes"] + totals["comm.status_bytes"]
+        == trainer.ledger.total_bytes
+    )
+
+
+def test_trace_reproduces_history_upload_counts(traced_run):
+    trainer, events = traced_run
+    rows = round_rows(events, history=trainer.history)
+    assert [r["iteration"] for r in rows] == [1, 2]
+    for row, record in zip(rows, trainer.history):
+        assert row["n_uploaded"] == record.n_uploaded
+        assert row["total_bytes"] == record.total_bytes
+
+
+def test_client_compute_spans_reconcile_with_round_wall_time(traced_run):
+    trainer, events = traced_run
+    rows = round_rows(events, history=trainer.history)
+    n_clients = len(trainer.clients)
+    phases = phase_summary(events)
+    assert phases["client_compute"]["count"] == 2 * n_clients
+    for row in rows:
+        # Serial backend: the clients ran inside the round span one
+        # after another, so their summed time is bounded by (and for a
+        # compute-dominated round, most of) the round wall time.
+        assert 0 < row["client_compute_s"] <= row["round_s"]
+        covered = (
+            row["client_compute_s"] + row["decide_s"]
+            + row["aggregate_s"] + row["evaluate_s"] + row["broadcast_s"]
+        )
+        assert covered <= row["round_s"]

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Render a ``repro-trace/v1`` JSONL trace as a per-phase report.
+
+A thin repo-root wrapper over ``python -m repro.obs report`` that can
+additionally convert the trace's phase aggregates into a
+``repro-bench-timing/v1`` payload for ``tools/bench_compare.py``.
+
+Usage::
+
+    python tools/trace_report.py trace.jsonl
+    python tools/trace_report.py trace.jsonl --history run.jsonl
+    python tools/trace_report.py trace.jsonl --bench-json /tmp/traced.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs import (  # noqa: E402
+    format_report,
+    load_trace,
+    trace_to_timing_payload,
+    validate_trace,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", type=Path, help="repro-trace/v1 .jsonl file")
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=None,
+        help="RunHistory .jsonl to join per-round upload/byte columns",
+    )
+    parser.add_argument(
+        "--bench-json",
+        type=Path,
+        default=None,
+        help="also write the trace as a repro-bench-timing/v1 payload "
+        "(input for tools/bench_compare.py)",
+    )
+    args = parser.parse_args(argv)
+
+    events = load_trace(args.trace)
+    problems = validate_trace(events)
+    if problems:
+        for problem in problems:
+            print(f"{args.trace}: {problem}", file=sys.stderr)
+        return 1
+
+    history = None
+    if args.history is not None:
+        from repro.fl.history import RunHistory  # noqa: E402
+
+        history = RunHistory.from_jsonl(args.history)
+    print(format_report(events, history=history))
+
+    if args.bench_json is not None:
+        payload = trace_to_timing_payload(events)
+        args.bench_json.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\nwrote bench-timing payload to {args.bench_json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
