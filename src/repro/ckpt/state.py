@@ -1,0 +1,237 @@
+"""Capturing and restoring a federated run's complete state.
+
+:func:`capture_run_state` walks a :class:`~repro.fl.trainer.
+FederatedTrainer` and produces the (manifest, arrays, texts) triple the
+container format persists; :func:`apply_run_state` pushes a read
+checkpoint back into a freshly constructed trainer.  Between them they
+cover everything round ``t+1`` depends on:
+
+* the global model parameters and the optimizer's slot state;
+* the CMFL feedback state (the estimator's retained update history,
+  which determines u_bar and the threshold context) and any mutable
+  policy state;
+* every client's RNG stream position plus the sampler's RNG;
+* the communication ledger and the full :class:`RunHistory`;
+* the tracer continuation snapshot (sequence/id counters, open spans,
+  metric values), so a resumed trace extends the original stream.
+
+The restore side validates shape/identity invariants (parameter count,
+policy name, client-id set, feedback staleness, aggregation mode) and
+wraps any structural mismatch in :class:`CheckpointError` so a
+checkpoint applied against the wrong federation fails loudly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.ckpt.format import CheckpointError, Checkpoint
+from repro.fl.history import RunHistory
+from repro.obs import JsonlSink, MemorySink, Tracer
+from repro.obs.sinks import truncate_trace
+
+__all__ = [
+    "HISTORY_MEMBER",
+    "apply_run_state",
+    "build_resume_tracer",
+    "capture_run_state",
+]
+
+#: Container member holding the serialised RunHistory.
+HISTORY_MEMBER = "history.jsonl"
+
+
+def capture_run_state(
+    trainer: Any,
+) -> Tuple[Dict[str, Any], Dict[str, np.ndarray], Dict[str, str]]:
+    """Snapshot ``trainer`` into (manifest, arrays, texts).
+
+    Must be called at a round boundary (between ``run_round`` calls):
+    that is the only point where the scattered state — server params,
+    optimizer slots, RNG streams, ledger — is mutually consistent.
+    """
+    server = trainer.server
+    estimator = server.estimator
+    opt_state = trainer.workspace.optimizer.state_dict()
+
+    arrays: Dict[str, np.ndarray] = {"global_params": server.global_params}
+    feedback_state = estimator.state_dict()
+    for i, update in enumerate(feedback_state["history"]):
+        arrays[f"feedback/{i}"] = update
+    arrays["feedback_deltas"] = np.asarray(
+        feedback_state["delta_updates"], dtype=float
+    )
+    for slot, slot_arrays in opt_state["slots"].items():
+        for i, value in enumerate(slot_arrays):
+            arrays[f"optimizer/{slot}/{i}"] = value
+
+    manifest: Dict[str, Any] = {
+        "iteration": len(trainer.history),
+        "n_params": server.n_params,
+        "policy": {
+            "name": trainer.policy.name,
+            "state": trainer.policy.state_dict(),
+        },
+        "server": {
+            "weighted": server.weighted,
+            "feedback_staleness": estimator.staleness,
+            "n_feedback": len(feedback_state["history"]),
+        },
+        "optimizer": {
+            "type": opt_state["type"],
+            "scalars": opt_state["scalars"],
+            "slots": {
+                slot: len(slot_arrays)
+                for slot, slot_arrays in opt_state["slots"].items()
+            },
+        },
+        "rng": {
+            "clients": {
+                str(client.client_id): client.rng_state()
+                for client in trainer.clients
+            },
+            "sampler": trainer.sampler.state_dict(),
+        },
+        "ledger": trainer.ledger.state_dict(),
+        "trace": (
+            trainer.tracer.export_state() if trainer.tracer.enabled else None
+        ),
+        "executor": {"backend": trainer.executor.name},
+    }
+    texts = {HISTORY_MEMBER: trainer.history.to_jsonl()}
+    return manifest, arrays, texts
+
+
+def apply_run_state(trainer: Any, ckpt: Checkpoint) -> None:
+    """Restore a checkpoint into a freshly constructed ``trainer``.
+
+    The trainer must have been built over the same federation shape —
+    same model architecture, optimizer type, policy, clients, sampler
+    and aggregation settings — as the run that produced the checkpoint.
+    """
+    manifest = ckpt.manifest
+    try:
+        _apply(trainer, ckpt, manifest)
+    except (KeyError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint {ckpt.path} does not match this federation: {exc}"
+        ) from exc
+
+
+def _apply(trainer: Any, ckpt: Checkpoint, manifest: Dict[str, Any]) -> None:
+    server = trainer.server
+    if int(manifest["n_params"]) != server.n_params:
+        raise ValueError(
+            f"checkpoint has {manifest['n_params']} parameters, "
+            f"model has {server.n_params}"
+        )
+    if manifest["policy"]["name"] != trainer.policy.name:
+        raise ValueError(
+            f"checkpoint is for policy {manifest['policy']['name']!r}, "
+            f"trainer runs {trainer.policy.name!r}"
+        )
+    if bool(manifest["server"]["weighted"]) != server.weighted:
+        raise ValueError("weighted-aggregation setting differs")
+    if int(manifest["server"]["feedback_staleness"]) != server.estimator.staleness:
+        raise ValueError(
+            f"checkpoint has feedback staleness "
+            f"{manifest['server']['feedback_staleness']}, trainer has "
+            f"{server.estimator.staleness}"
+        )
+    ckpt_ids = set(manifest["rng"]["clients"])
+    trainer_ids = {str(c.client_id) for c in trainer.clients}
+    if ckpt_ids != trainer_ids:
+        raise ValueError(
+            f"checkpoint covers clients {sorted(ckpt_ids)}, trainer has "
+            f"{sorted(trainer_ids)}"
+        )
+
+    global_params = np.asarray(ckpt.arrays["global_params"], dtype=float)
+    if global_params.shape != server.global_params.shape:
+        raise ValueError(
+            f"global_params has shape {global_params.shape}, expected "
+            f"{server.global_params.shape}"
+        )
+    server.global_params[...] = global_params
+    server.estimator.load_state_dict(
+        {
+            "n_params": manifest["n_params"],
+            "staleness": manifest["server"]["feedback_staleness"],
+            "history": [
+                ckpt.arrays[f"feedback/{i}"]
+                for i in range(int(manifest["server"]["n_feedback"]))
+            ],
+            "delta_updates": ckpt.arrays["feedback_deltas"].tolist(),
+        }
+    )
+    trainer.workspace.optimizer.load_state_dict(
+        {
+            "type": manifest["optimizer"]["type"],
+            "scalars": manifest["optimizer"]["scalars"],
+            "slots": {
+                slot: [
+                    ckpt.arrays[f"optimizer/{slot}/{i}"] for i in range(count)
+                ]
+                for slot, count in manifest["optimizer"]["slots"].items()
+            },
+        }
+    )
+    trainer.policy.load_state_dict(manifest["policy"]["state"])
+    for client in trainer.clients:
+        client.set_rng_state(manifest["rng"]["clients"][str(client.client_id)])
+    trainer.sampler.load_state_dict(manifest["rng"]["sampler"])
+    trainer.ledger.load_state_dict(manifest["ledger"])
+
+    history = RunHistory.from_jsonl(ckpt.texts[HISTORY_MEMBER])
+    if history.policy_name != trainer.policy.name:
+        raise ValueError(
+            f"checkpointed history is for policy {history.policy_name!r}"
+        )
+    if len(history) != int(manifest["iteration"]):
+        raise ValueError(
+            f"history holds {len(history)} records, manifest says "
+            f"iteration {manifest['iteration']}"
+        )
+    trainer.history = history
+    # Round t+1 trains from the restored global model.
+    trainer.workspace.load_flat(server.global_params)
+
+
+def build_resume_tracer(trace_state: Any, config: Any) -> Any:
+    """Reconstruct the tracer continuation for a resumed run.
+
+    Returns ``None`` when the checkpoint carried no trace state or the
+    config has tracing off (the trainer then builds its default).  With
+    a ``trace_path``, the original JSONL file is truncated back to the
+    events the checkpoint had durably flushed (``seq`` strictly below
+    the snapshot's counter — anything later belongs to the crashed
+    partial round) and reopened in append mode, so the resumed run
+    extends the exact original stream.
+    """
+    if trace_state is None or not config.trace_enabled:
+        return None
+    upto_seq = int(trace_state["seq"])
+    if config.trace_path:
+        path = Path(config.trace_path)
+        if not path.exists():
+            raise CheckpointError(
+                f"checkpoint expects a trace at {path}, but the file "
+                "does not exist"
+            )
+        kept = truncate_trace(path, upto_seq)
+        if kept != upto_seq:
+            raise CheckpointError(
+                f"trace at {path} has only {kept} events before seq "
+                f"{upto_seq}; it does not match this checkpoint"
+            )
+        sink = JsonlSink(path, mode="a")
+    else:
+        # In-memory traces do not survive the original process; the
+        # resumed stream continues from the checkpoint's counters.
+        sink = MemorySink()
+    tracer = Tracer(sinks=[sink], emit_header=False)
+    tracer.restore_state(trace_state)
+    return tracer

@@ -10,7 +10,7 @@ uses (Fig. 3) to justify the estimate: for >93-99% of iterations
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -76,3 +76,42 @@ class GlobalUpdateEstimator:
         # Only the last ``staleness`` updates are ever read back.
         if len(self._history) > self.staleness:
             self._history = self._history[-self.staleness :]
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot for checkpointing: the retained update history plus
+        the Delta-Update record (arrays are copied)."""
+        return {
+            "n_params": self.n_params,
+            "staleness": self.staleness,
+            "history": [u.copy() for u in self._history],
+            "delta_updates": list(self.delta_updates),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot into this estimator."""
+        if int(state["n_params"]) != self.n_params:
+            raise ValueError(
+                f"estimator state is for {state['n_params']} parameters, "
+                f"not {self.n_params}"
+            )
+        if int(state["staleness"]) != self.staleness:
+            raise ValueError(
+                f"estimator state has staleness {state['staleness']}, "
+                f"not {self.staleness}"
+            )
+        history = [
+            np.asarray(u, dtype=float).reshape(-1) for u in state["history"]
+        ]
+        if len(history) > self.staleness:
+            raise ValueError(
+                f"estimator state holds {len(history)} updates; at most "
+                f"{self.staleness} are retained"
+            )
+        for u in history:
+            if u.size != self.n_params:
+                raise ValueError(
+                    f"estimator state update has {u.size} parameters, "
+                    f"expected {self.n_params}"
+                )
+        self._history = [u.copy() for u in history]
+        self.delta_updates = [float(d) for d in state["delta_updates"]]

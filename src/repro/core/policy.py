@@ -10,7 +10,7 @@ Gaia live in :mod:`repro.baselines` behind the same interface.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -74,12 +74,31 @@ class UploadDecision:
 
 
 class UploadPolicy:
-    """Interface: judge one local update in one round."""
+    """Interface: judge one local update in one round.
+
+    The shipped policies (CMFL, vanilla, Gaia) are stateless — their
+    thresholds are pure functions of the iteration — so the default
+    :meth:`state_dict` is empty and a checkpoint restores them by
+    reconstructing with the same constructor arguments.  A stateful
+    policy overrides both methods.
+    """
 
     name = "policy"
 
     def decide(self, update: np.ndarray, ctx: PolicyContext) -> UploadDecision:
         raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Mutable policy state for checkpoints (empty when stateless)."""
+        return {}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output (stateless default)."""
+        if state:
+            raise ValueError(
+                f"policy {self.name!r} is stateless, but the snapshot "
+                f"carries state: {sorted(state)}"
+            )
 
 
 class CMFLPolicy(UploadPolicy):

@@ -17,7 +17,8 @@ repo root and ``tools/bench_compare.py`` diffs two such baselines.
 
 A micro section times the ``im2col`` unfold with and without a trailing
 ``np.ascontiguousarray`` — the measurement behind dropping that call
-(see :func:`repro.nn.layers.conv.im2col`).
+(see :func:`repro.nn.layers.conv.im2col`) — and the checkpoint
+save/restore path of :mod:`repro.ckpt` (sec per save, bytes on disk).
 """
 
 from __future__ import annotations
@@ -26,6 +27,7 @@ import hashlib
 import json
 import os
 import platform
+import tempfile
 from pathlib import Path
 from time import perf_counter
 from typing import Callable, Dict, Sequence
@@ -46,6 +48,7 @@ from repro.nn.layers.conv import im2col
 from repro.nn.losses import SigmoidBinaryCrossEntropy
 from repro.nn.optimizers import SGD
 from repro.nn.schedules import ConstantLR
+from repro.utils.atomic_io import atomic_write_text
 from repro.utils.rng import child_rngs
 
 __all__ = [
@@ -58,6 +61,7 @@ __all__ = [
     "make_linear_timing_trainer",
     "run_timing",
     "time_backend",
+    "time_checkpoint",
     "time_im2col",
     "write_baseline",
 ]
@@ -227,6 +231,49 @@ def time_im2col(reps: int = 200) -> Dict[str, object]:
     }
 
 
+def time_checkpoint(reps: int = 5, rounds: int = 2) -> Dict[str, object]:
+    """Measure the :mod:`repro.ckpt` save and load/verify paths.
+
+    Runs the linear federation for a couple of rounds so the captured
+    state is realistic (non-trivial feedback history, ledger, run
+    history), then times ``save_checkpoint`` and digest-verifying
+    ``read_checkpoint`` against a temp file.  Records bytes on disk so
+    baseline diffs catch container-format size regressions too.
+    """
+    from repro.ckpt import read_checkpoint, save_checkpoint
+
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    trainer = make_linear_timing_trainer()
+    try:
+        trainer.run(rounds)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "bench.ckpt"
+            save_checkpoint(trainer, path)  # warm allocator + dir entry
+            save_total = 0.0
+            for _ in range(reps):
+                start = perf_counter()
+                save_checkpoint(trainer, path)
+                save_total += perf_counter() - start
+            nbytes = path.stat().st_size
+            load_total = 0.0
+            for _ in range(reps):
+                start = perf_counter()
+                read_checkpoint(path)
+                load_total += perf_counter() - start
+    finally:
+        trainer.close()
+    return {
+        "reps": reps,
+        "rounds_before_save": rounds,
+        "n_params": trainer.workspace.n_params,
+        "n_clients": len(trainer.clients),
+        "bytes_on_disk": nbytes,
+        "sec_per_save": save_total / reps,
+        "sec_per_load_verify": load_total / reps,
+    }
+
+
 def run_timing(
     backends: Sequence[str] = DEFAULT_BACKENDS,
     workers: int = 4,
@@ -249,7 +296,7 @@ def run_timing(
             "backends": list(backends),
         },
         "workloads": {},
-        "micro": {"im2col": time_im2col()},
+        "micro": {"im2col": time_im2col(), "checkpoint": time_checkpoint()},
     }
     for workload in workloads:
         per_backend: Dict[str, object] = {}
@@ -273,8 +320,8 @@ def run_timing(
 
 
 def write_baseline(payload: Dict[str, object], path: Path) -> None:
-    """Persist a timing payload as pretty, diff-stable JSON."""
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    """Persist a timing payload as pretty, diff-stable JSON (atomically)."""
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def format_report(payload: Dict[str, object]) -> str:
@@ -303,4 +350,13 @@ def format_report(payload: Dict[str, object]) -> str:
         f"ascontiguousarray {micro['ascontiguousarray_ms']:.3f} ms "
         f"-> kept {micro['kept']}",
     ]
+    ckpt = payload["micro"].get("checkpoint")
+    if ckpt:
+        lines.append(
+            "checkpoint (linear, "
+            f"{ckpt['n_params']} params): "
+            f"save {ckpt['sec_per_save'] * 1e3:.2f} ms, "
+            f"load+verify {ckpt['sec_per_load_verify'] * 1e3:.2f} ms, "
+            f"{ckpt['bytes_on_disk']} bytes on disk"
+        )
     return "\n".join(lines)

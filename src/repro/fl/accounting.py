@@ -9,7 +9,7 @@ where a filtered client sends only a tiny status message.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.nn.serialization import STATUS_MESSAGE_BYTES, update_nbytes
 from repro.obs.metrics import MetricsRegistry
@@ -73,3 +73,41 @@ class CommunicationLedger:
     def elimination_counts(self, n_clients: int) -> List[int]:
         """Per-client skip counts, densely indexed 0..n_clients-1 (Fig. 6 input)."""
         return [self.skips_per_client.get(c, 0) for c in range(n_clients)]
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the running totals (keys stringified —
+        JSON objects cannot carry int keys)."""
+        return {
+            "n_params": self.n_params,
+            "accumulated_rounds": self.accumulated_rounds,
+            "uploaded_bytes": self.uploaded_bytes,
+            "status_bytes": self.status_bytes,
+            "skips_per_client": {
+                str(k): v for k, v in self.skips_per_client.items()
+            },
+            "uploads_per_client": {
+                str(k): v for k, v in self.uploads_per_client.items()
+            },
+            "rounds_per_iteration": list(self.rounds_per_iteration),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot (``metrics`` binding is
+        left untouched — counters resume from the tracer's own state)."""
+        if int(state["n_params"]) != self.n_params:
+            raise ValueError(
+                f"ledger state is for {state['n_params']} parameters, "
+                f"not {self.n_params}"
+            )
+        self.accumulated_rounds = int(state["accumulated_rounds"])
+        self.uploaded_bytes = int(state["uploaded_bytes"])
+        self.status_bytes = int(state["status_bytes"])
+        self.skips_per_client = {
+            int(k): int(v) for k, v in state["skips_per_client"].items()
+        }
+        self.uploads_per_client = {
+            int(k): int(v) for k, v in state["uploads_per_client"].items()
+        }
+        self.rounds_per_iteration = [
+            int(r) for r in state["rounds_per_iteration"]
+        ]

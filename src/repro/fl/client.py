@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.fl.workspace import ModelWorkspace
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, ensure_rng, restore_generator
 
 __all__ = ["ClientUpdate", "FLClient"]
 
@@ -61,10 +61,10 @@ class FLClient:
 
     def set_rng_state(self, state: Dict[str, Any]) -> None:
         """Restore a snapshot produced by :meth:`rng_state`."""
-        name = state["bit_generator"]
-        if type(self._rng.bit_generator).__name__ != name:
-            self._rng = np.random.Generator(getattr(np.random, name)())
-        self._rng.bit_generator.state = state
+        if type(self._rng.bit_generator).__name__ != state["bit_generator"]:
+            self._rng = restore_generator(state)
+        else:
+            self._rng.bit_generator.state = state
 
     def compute_update(
         self,

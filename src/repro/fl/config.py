@@ -61,6 +61,13 @@ class FLConfig:
     #: With ``trace=True`` and no path, events collect in memory
     #: (``trainer.tracer.memory_events()``).
     trace_path: Optional[str] = None
+    #: Directory for periodic run-state checkpoints (see
+    #: :mod:`repro.ckpt`); None disables checkpointing.
+    checkpoint_dir: Optional[str] = None
+    #: Save a checkpoint every N completed rounds.
+    checkpoint_every: int = 1
+    #: How many checkpoints to retain (oldest pruned first); 0 = all.
+    checkpoint_keep: int = 3
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -85,8 +92,19 @@ class FLConfig:
             raise ValueError("executor_workers must be >= 0 (0 = cpu count)")
         if self.trace_path is not None and not str(self.trace_path):
             raise ValueError("trace_path must be a non-empty path or None")
+        if self.checkpoint_dir is not None and not str(self.checkpoint_dir):
+            raise ValueError("checkpoint_dir must be a non-empty path or None")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.checkpoint_keep < 0:
+            raise ValueError("checkpoint_keep must be >= 0 (0 = keep all)")
 
     @property
     def trace_enabled(self) -> bool:
         """Tracing is on when either knob is set."""
         return bool(self.trace or self.trace_path)
+
+    @property
+    def checkpoint_enabled(self) -> bool:
+        """Checkpointing is on when a directory is configured."""
+        return self.checkpoint_dir is not None

@@ -10,10 +10,10 @@ relevance check before uploading.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Any, Dict, List, Sequence
 
 from repro.fl.client import FLClient
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, ensure_rng, restore_generator
 
 __all__ = [
     "ClientSampler",
@@ -24,10 +24,26 @@ __all__ = [
 
 
 class ClientSampler:
-    """Chooses which clients train in a given round."""
+    """Chooses which clients train in a given round.
+
+    ``state_dict``/``load_state_dict`` persist whatever a sampler needs
+    to keep its selection sequence going across a checkpoint/resume
+    (the RNG state, for the random samplers); deterministic samplers
+    carry nothing.
+    """
 
     def select(self, iteration: int, clients: Sequence[FLClient]) -> List[FLClient]:
         raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} is stateless, but the snapshot "
+                f"carries state: {sorted(state)}"
+            )
 
 
 class FullParticipation(ClientSampler):
@@ -52,6 +68,12 @@ class UniformSampler(ClientSampler):
         k = max(1, int(round(self.fraction * len(clients))))
         idx = self._rng.choice(len(clients), size=k, replace=False)
         return [clients[i] for i in sorted(idx)]
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._rng = restore_generator(state["rng"])
 
 
 class UnreliableParticipation(ClientSampler):
@@ -85,3 +107,13 @@ class UnreliableParticipation(ClientSampler):
             keep = self._rng.integers(0, len(selected))
             survivors = [selected[keep]]
         return survivors
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "rng": self._rng.bit_generator.state,
+            "base": self.base.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._rng = restore_generator(state["rng"])
+        self.base.load_state_dict(state["base"])

@@ -13,6 +13,8 @@ order, so run histories are bitwise-identical across backends.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -112,6 +114,21 @@ class FederatedTrainer:
         self.executor.bind(
             workspace, self.clients, spec=workspace_spec, tracer=self.tracer
         )
+        # Run-state persistence (see repro.ckpt), driven by the
+        # checkpoint_* config knobs.  Imported lazily: repro.ckpt
+        # imports fl modules, so a module-level import would cycle.
+        self.checkpointer = None
+        if config.checkpoint_enabled:
+            from repro.ckpt import Checkpointer
+
+            self.checkpointer = Checkpointer(
+                config.checkpoint_dir,
+                every_n_rounds=config.checkpoint_every,
+                keep=config.checkpoint_keep,
+            )
+        # Open "run" span adopted from a checkpoint by restore();
+        # run() continues it instead of opening a fresh one.
+        self._resume_span = None
         # Hook for measurement experiments: called with every
         # (client update, decision) pair before aggregation.
         self.on_decision: Optional[Callable] = None
@@ -229,22 +246,106 @@ class FederatedTrainer:
         return record
 
     def run(self, rounds: Optional[int] = None) -> RunHistory:
-        """Run ``rounds`` iterations (default: the configured count)."""
+        """Run ``rounds`` iterations (default: the configured count).
+
+        With checkpointing configured, a checkpoint is saved after each
+        round the schedule selects.  A trainer built by :meth:`restore`
+        continues the checkpointed trace's still-open ``run`` span
+        instead of opening a new one, so the resumed event stream is
+        indistinguishable from an uninterrupted run's.
+        """
         total = self.config.rounds if rounds is None else rounds
         if total < 1:
             raise ValueError("rounds must be >= 1")
         start = len(self.history) + 1
-        with self.tracer.span(
-            "run",
-            policy=self.policy.name,
-            rounds=total,
-            start_iteration=start,
-        ) as run_span:
-            run_span.set_rt("backend", self.executor.name)
-            run_span.set_rt("workers", getattr(self.executor, "n_workers", 1))
+        run_span = self._resume_span
+        self._resume_span = None
+        if run_span is None:
+            run_span = self.tracer.span(
+                "run",
+                policy=self.policy.name,
+                rounds=total,
+                start_iteration=start,
+            )
+            run_span.__enter__()
+        run_span.set_rt("backend", self.executor.name)
+        run_span.set_rt("workers", getattr(self.executor, "n_workers", 1))
+        try:
             for t in range(start, start + total):
                 self.run_round(t)
+                if self.checkpointer is not None:
+                    self.checkpointer.maybe_save(self, t)
+        finally:
+            run_span.__exit__(*sys.exc_info())
         return self.history
+
+    def save_checkpoint(self, path: Union[str, Path]) -> Path:
+        """Checkpoint the current run state to ``path`` (see repro.ckpt).
+
+        Valid at round boundaries only — between :meth:`run_round`
+        calls, or after :meth:`run` returns.
+        """
+        from repro.ckpt import save_checkpoint
+
+        return save_checkpoint(self, path)
+
+    @classmethod
+    def restore(
+        cls,
+        path: Union[str, Path],
+        workspace: ModelWorkspace,
+        clients: Sequence[FLClient],
+        policy: UploadPolicy,
+        config: FLConfig,
+        eval_fn: Optional[EvalFn] = None,
+        feedback_staleness: int = 1,
+        sampler: Optional[ClientSampler] = None,
+        executor: Union[None, str, ClientExecutor] = None,
+        workspace_spec: Optional[WorkspaceSpec] = None,
+    ) -> "FederatedTrainer":
+        """Rebuild a trainer from a checkpoint and the federation parts.
+
+        The caller reconstructs the same federation the checkpointed
+        run used (model, clients, policy, config, sampler — cheap,
+        deterministic object construction); the checkpoint then
+        overwrites every piece of mutable state, the executor is
+        re-bound to the restored workspace, and the trace continuation
+        is wired up.  The returned trainer's next ``run_round`` is
+        iteration ``checkpoint.iteration + 1`` and behaves bit-for-bit
+        like the uninterrupted run's.
+        """
+        from repro.ckpt import apply_run_state, build_resume_tracer, read_checkpoint
+
+        ckpt = read_checkpoint(path)
+        tracer = build_resume_tracer(ckpt.manifest.get("trace"), config)
+        trainer = cls(
+            workspace,
+            clients,
+            policy,
+            config,
+            eval_fn=eval_fn,
+            feedback_staleness=feedback_staleness,
+            sampler=sampler,
+            executor=executor,
+            workspace_spec=workspace_spec,
+            tracer=tracer,
+        )
+        if tracer is not None:
+            # restore() built this tracer from the config knobs, same
+            # as __init__ would have; close() owns it.
+            trainer._owns_tracer = True
+        apply_run_state(trainer, ckpt)
+        # The executor snapshotted the workspace at bind time; re-bind
+        # so replicas/workers start from the restored parameters.
+        trainer.executor.bind(
+            workspace,
+            trainer.clients,
+            spec=workspace_spec,
+            tracer=trainer.tracer,
+        )
+        if trainer.tracer.enabled:
+            trainer._resume_span = trainer.tracer.current_span()
+        return trainer
 
     def close(self) -> None:
         """Release executor resources (worker pools, shared memory).

@@ -17,6 +17,7 @@ from repro.lint.engine import LintRule
 __all__ = [
     "AllExportsRule",
     "ExplicitDtypeRule",
+    "NoBareArtifactWriteRule",
     "NoGlobalRngRule",
     "NoParamMutationRule",
     "NoPrintInLibraryRule",
@@ -633,6 +634,96 @@ class NoPrintInLibraryRule(LintRule):
         self.generic_visit(node)
 
 
+class NoBareArtifactWriteRule(_AliasTrackingRule):
+    """Artifact writes in library code must go through ``atomic_io``.
+
+    A bare ``open(path, "w")``, ``Path.write_text``/``write_bytes`` or
+    ``json.dump`` truncates the target before the new content is
+    durable: a crash mid-write leaves a torn artifact — exactly the
+    failure the checkpoint/trace recovery machinery exists to survive.
+    Library code writes files through
+    :func:`repro.utils.atomic_io.atomic_write` (temp file + fsync +
+    rename); only ``atomic_io`` itself, CLI entry points and experiment
+    scripts (whose outputs are disposable) are exempt.  Streaming
+    writers that must append in place (the JSONL trace sink) keep their
+    mode in a variable and fsync explicitly — the rule only flags
+    literal write/create modes.
+    """
+
+    name = "no-bare-artifact-write"
+    description = (
+        "library code must write artifacts via repro.utils.atomic_io, "
+        "not bare open(.., 'w')/write_text/json.dump"
+    )
+    tracked_modules = ("json",)
+
+    #: Package-relative files/dirs (trailing '/') exempt from the rule.
+    DEFAULT_ALLOWED = (
+        "utils/atomic_io.py",
+        "lint/cli.py",
+        "tools/",
+        "experiments/",
+    )
+
+    #: Literal ``open`` modes that truncate or create the target.
+    _DESTRUCTIVE = ("w", "x")
+
+    def _allowed_here(self) -> bool:
+        allowed = tuple(self.settings.option("allow_in", self.DEFAULT_ALLOWED))
+        path = self.ctx.package_path
+        return any(
+            path.startswith(entry) if entry.endswith("/") else path == entry
+            for entry in allowed
+        )
+
+    @classmethod
+    def _literal_write_mode(cls, node: ast.Call) -> Optional[str]:
+        mode: Optional[ast.AST] = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if (
+            isinstance(mode, ast.Constant)
+            and isinstance(mode.value, str)
+            and any(ch in mode.value for ch in cls._DESTRUCTIVE)
+        ):
+            return mode.value
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self._allowed_here():
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                mode = self._literal_write_mode(node)
+                if mode is not None:
+                    self.report(
+                        node,
+                        f"bare open(.., {mode!r}) truncates the target "
+                        "before the write is durable; use "
+                        "repro.utils.atomic_io.atomic_write",
+                    )
+            elif isinstance(func, ast.Attribute) and func.attr in (
+                "write_text",
+                "write_bytes",
+            ):
+                self.report(
+                    node,
+                    f"'.{func.attr}()' is not crash-safe; use "
+                    f"repro.utils.atomic_io.atomic_{func.attr.split('_')[1]} "
+                    "(tmp + fsync + rename)",
+                )
+            elif self.canonical(func) == "json.dump":
+                self.report(
+                    node,
+                    "json.dump writes incrementally into a live file; "
+                    "json.dumps the payload and write it via "
+                    "repro.utils.atomic_io.atomic_write",
+                )
+        self.generic_visit(node)
+
+
 class AllExportsRule(LintRule):
     """Every public module must define an accurate ``__all__``.
 
@@ -778,6 +869,7 @@ DEFAULT_RULES: Tuple[type, ...] = (
     NoGlobalRngRule,
     ExplicitDtypeRule,
     NoParamMutationRule,
+    NoBareArtifactWriteRule,
     NoPrintInLibraryRule,
     NoSequentialClientLoopRule,
     NoWallclockSeedRule,

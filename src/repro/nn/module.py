@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
 
 import numpy as np
 
@@ -33,6 +33,45 @@ class Module:
     def zero_grad(self) -> None:
         for p in self.parameters():
             p.zero_grad()
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copies of every parameter array, keyed ``"<position>:<name>"``.
+
+        Position-keyed because parameter *names* repeat across layers
+        (every Linear has a ``weight``); :meth:`parameters` guarantees a
+        stable order, so the position disambiguates while the name keeps
+        the dict readable and guards against restoring into a different
+        architecture.
+        """
+        return {
+            f"{i}:{p.name}": p.data.copy()
+            for i, p in enumerate(self.parameters())
+        }
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore parameter values from :meth:`state_dict` output.
+
+        The state must cover exactly this module's parameters (same
+        positions, names and shapes); values are copied into the
+        existing arrays so optimizer slot bindings stay intact.
+        """
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} entries, module has "
+                f"{len(params)} parameters"
+            )
+        for i, p in enumerate(params):
+            key = f"{i}:{p.name}"
+            if key not in state:
+                raise ValueError(f"state is missing parameter {key!r}")
+            value = np.asarray(state[key])
+            if value.shape != p.data.shape:
+                raise ValueError(
+                    f"parameter {key!r}: state shape {value.shape} does "
+                    f"not match {p.data.shape}"
+                )
+            p.data[...] = value
 
     def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         return self.forward(x, training=training)

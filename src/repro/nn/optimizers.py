@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -18,6 +18,14 @@ class Optimizer:
     the learning rate can be overridden per step, which is how the
     federated trainer implements the paper's eta_t = eta_0 / sqrt(t)
     schedule.
+
+    ``state_dict``/``load_state_dict`` snapshot the *slot* state
+    (momentum velocity, Adam moments) that the flat parameter vector
+    does not carry — what checkpoints must persist so a resumed run
+    steps identically.  The shared layout is
+    ``{"type", "scalars": {...}, "slots": {name: [array per parameter,
+    in parameter order]}}``; stateless optimizers have empty scalars
+    and slots.
     """
 
     def __init__(self, parameters: List[Parameter], lr: float) -> None:
@@ -34,6 +42,48 @@ class Optimizer:
     def zero_grad(self) -> None:
         for p in self.parameters:
             p.zero_grad()
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialisable slot-state snapshot (see the class docstring)."""
+        return {"type": type(self).__name__, "scalars": {}, "slots": {}}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot (stateless default)."""
+        self._check_state_type(state)
+        if state.get("scalars") or state.get("slots"):
+            raise ValueError(
+                f"{type(self).__name__} carries no slot state, but the "
+                "snapshot does"
+            )
+
+    def _check_state_type(self, state: Dict[str, Any]) -> None:
+        expected = type(self).__name__
+        if state.get("type") != expected:
+            raise ValueError(
+                f"optimizer state is for {state.get('type')!r}, "
+                f"not {expected!r}"
+            )
+
+    def _load_slot(
+        self,
+        slot_name: str,
+        arrays: List[np.ndarray],
+        target: Dict[int, np.ndarray],
+    ) -> None:
+        """Copy ``arrays`` (parameter order) into an id-keyed slot dict."""
+        if len(arrays) != len(self.parameters):
+            raise ValueError(
+                f"slot {slot_name!r} has {len(arrays)} arrays for "
+                f"{len(self.parameters)} parameters"
+            )
+        for p, value in zip(self.parameters, arrays):
+            value = np.asarray(value)
+            if value.shape != p.data.shape:
+                raise ValueError(
+                    f"slot {slot_name!r}: array shape {value.shape} does "
+                    f"not match parameter shape {p.data.shape}"
+                )
+            target[id(p)][...] = value
 
 
 class SGD(Optimizer):
@@ -86,6 +136,23 @@ class Momentum(Optimizer):
             v -= eta * grad
             p.data += v
 
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "type": type(self).__name__,
+            "scalars": {},
+            "slots": {
+                "velocity": [
+                    self._velocity[id(p)].copy() for p in self.parameters
+                ]
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._check_state_type(state)
+        self._load_slot(
+            "velocity", state["slots"]["velocity"], self._velocity
+        )
+
 
 class Adam(Optimizer):
     """Adam (Kingma & Ba) with bias correction."""
@@ -127,3 +194,19 @@ class Adam(Optimizer):
             m_hat = m / bc1
             v_hat = v / bc2
             p.data -= eta * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "type": type(self).__name__,
+            "scalars": {"t": self._t},
+            "slots": {
+                "m": [self._m[id(p)].copy() for p in self.parameters],
+                "v": [self._v[id(p)].copy() for p in self.parameters],
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._check_state_type(state)
+        self._t = int(state["scalars"]["t"])
+        self._load_slot("m", state["slots"]["m"], self._m)
+        self._load_slot("v", state["slots"]["v"], self._v)

@@ -27,7 +27,13 @@ from repro.obs.metrics import (
     NullMetricsRegistry,
     RUNTIME_PREFIX,
 )
-from repro.obs.sinks import JsonlSink, MemorySink, SummarySink, TraceSink
+from repro.obs.sinks import (
+    JsonlSink,
+    MemorySink,
+    SummarySink,
+    TraceSink,
+    truncate_trace,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, TRACE_SCHEMA, Tracer
 from repro.obs.report import (
     comm_totals,
@@ -67,5 +73,6 @@ __all__ = [
     "round_rows",
     "trace_digest",
     "trace_to_timing_payload",
+    "truncate_trace",
     "validate_trace",
 ]

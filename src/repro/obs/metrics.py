@@ -182,6 +182,37 @@ class MetricsRegistry:
             if runtime is None or metric.runtime == runtime
         }
 
+    def export_state(self) -> Dict[str, Dict]:
+        """Serialisable snapshot of every instrument, for checkpoints."""
+        return self.snapshot(runtime=None)
+
+    def restore(self, state: Dict[str, Dict]) -> None:
+        """Reinstate instruments from :meth:`export_state` output.
+
+        Sets instrument values directly — nothing is streamed to the
+        trace — so a resumed run's next update continues the original
+        value sequence exactly (counters keep counting from where the
+        checkpointed run left off).
+        """
+        classes = {
+            cls.metric_type: cls for cls in (Counter, Gauge, Histogram)
+        }
+        for name, summary in state.items():
+            cls = classes.get(str(summary.get("type")))
+            if cls is None:
+                raise ValueError(
+                    f"metric {name!r} has unknown type "
+                    f"{summary.get('type')!r} in checkpoint state"
+                )
+            instrument = self._get(name, cls)
+            if cls is Histogram:
+                instrument.count = int(summary["count"])
+                instrument.total = float(summary["total"])
+                instrument.min = summary["min"]
+                instrument.max = summary["max"]
+            else:
+                instrument.value = summary["value"]
+
 
 class _NullInstrument:
     """Accepts any update and does nothing; shared singleton."""

@@ -237,7 +237,68 @@ class Tracer:
         for sink in self.sinks:
             sink.emit(event)
 
+    # -- continuation (see repro.ckpt) ---------------------------------
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def export_state(self) -> Dict[str, Any]:
+        """Continuation snapshot: counters, open spans, metric values.
+
+        Everything :meth:`restore_state` needs to continue this exact
+        event stream in a fresh process — sequence and id counters, the
+        open-span stack (names, ids, deterministic attrs) and the
+        metrics registry.  Checkpoints persist it so a killed-and-
+        resumed run emits the same events, with the same ids and
+        ``seq`` numbers, as an uninterrupted one.
+        """
+        return {
+            "seq": self._seq,
+            "next_id": self._next_id,
+            "open_spans": [
+                {
+                    "name": span.name,
+                    "id": span.span_id,
+                    "parent": span.parent_id,
+                    "attrs": dict(span.attrs),
+                }
+                for span in self._stack
+            ],
+            "metrics": self.metrics.export_state(),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Adopt an :meth:`export_state` snapshot on a fresh tracer.
+
+        The tracer must have been built with ``emit_header=False`` and
+        must not have emitted anything yet: the snapshot's counters
+        replace its own, checkpointed open spans are reopened with
+        their original ids/attrs (their durations restart — runtime
+        data, masked by the deterministic view), and metric values are
+        reinstated without emitting events.
+        """
+        if self._seq != 0 or self._stack or len(self.metrics):
+            raise RuntimeError(
+                "restore_state needs a fresh tracer (emit_header=False, "
+                "no events emitted, no metrics registered)"
+            )
+        self._seq = int(state["seq"])
+        self._next_id = int(state["next_id"])
+        for entry in state["open_spans"]:
+            span = Span(self, entry["name"], dict(entry["attrs"]))
+            span.span_id = entry["id"]
+            span.parent_id = entry["parent"]
+            span._start = self.clock()
+            self._stack.append(span)
+        self.metrics.restore(state.get("metrics", {}))
+
     # -- lifecycle ------------------------------------------------------
+
+    def flush(self) -> None:
+        """Push buffered events on every sink to stable storage."""
+        for sink in self.sinks:
+            sink.flush()
 
     def memory_events(self) -> Optional[List[Dict[str, Any]]]:
         """The event list of the first :class:`MemorySink`, if any."""
@@ -311,6 +372,12 @@ class NullTracer:
         pass
 
     def event(self, name, attrs=None, rt=None) -> None:
+        pass
+
+    def current_span(self) -> None:
+        return None
+
+    def flush(self) -> None:
         pass
 
     def memory_events(self) -> None:

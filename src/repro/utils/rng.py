@@ -8,11 +8,11 @@ components do not share streams.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
-__all__ = ["child_rngs", "ensure_rng", "spawn_seed"]
+__all__ = ["child_rngs", "ensure_rng", "restore_generator", "spawn_seed"]
 
 RngLike = Union[None, int, np.random.Generator]
 
@@ -49,3 +49,20 @@ def child_rngs(rng: RngLike, n: int) -> List[np.random.Generator]:
 def spawn_seed(rng: RngLike) -> int:
     """Draw a fresh 63-bit seed from ``rng`` (for handing to subprocesses)."""
     return int(ensure_rng(rng).integers(0, 2**63 - 1))
+
+
+def restore_generator(state: Dict[str, Any]) -> np.random.Generator:
+    """Rebuild a ``Generator`` from a ``bit_generator.state`` snapshot.
+
+    The snapshot (``gen.bit_generator.state``) is a plain JSON-safe dict
+    naming the bit-generator class and its counter state; this is how
+    checkpoints and the process executor move RNG stream positions
+    between processes without pickling generator objects.
+    """
+    name = state.get("bit_generator")
+    bit_cls = getattr(np.random, str(name), None)
+    if bit_cls is None or not isinstance(name, str):
+        raise ValueError(f"unknown bit generator {name!r} in RNG state")
+    gen = np.random.Generator(bit_cls())
+    gen.bit_generator.state = state
+    return gen

@@ -1,0 +1,532 @@
+"""The checkpoint layer: atomic IO, container format, state round-trips,
+retention and the ``python -m repro.ckpt`` CLI."""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.ckpt import (
+    CKPT_SCHEMA,
+    Checkpointer,
+    CheckpointError,
+    checkpoint_paths,
+    latest_checkpoint,
+    read_checkpoint,
+    verify_checkpoint,
+    write_checkpoint,
+)
+from repro.ckpt.__main__ import main as ckpt_cli
+from repro.core.feedback import GlobalUpdateEstimator
+from repro.core.policy import CMFLPolicy, UploadPolicy
+from repro.core.thresholds import InverseSqrtThreshold
+from repro.fl.accounting import CommunicationLedger
+from repro.fl.history import RunHistory, RoundRecord
+from repro.fl.sampling import (
+    FullParticipation,
+    UniformSampler,
+    UnreliableParticipation,
+)
+from repro.models.linear import make_logistic_regression
+from repro.nn.optimizers import SGD, Adam, Momentum
+from repro.obs import MemorySink, Tracer, truncate_trace
+from repro.obs.sinks import encode_event
+from repro.utils.atomic_io import (
+    atomic_write,
+    atomic_write_bytes,
+    atomic_write_text,
+)
+from repro.utils.rng import restore_generator
+
+
+# -- atomic_io --------------------------------------------------------------
+
+
+class TestAtomicWrite:
+    def test_writes_text_and_bytes(self, tmp_path):
+        target = tmp_path / "a.txt"
+        atomic_write_text(target, "hello")
+        assert target.read_text() == "hello"
+        atomic_write_bytes(target, b"\x00\x01")
+        assert target.read_bytes() == b"\x00\x01"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "deep" / "er" / "a.txt"
+        atomic_write_text(target, "x")
+        assert target.read_text() == "x"
+
+    def test_failed_write_leaves_target_intact(self, tmp_path):
+        target = tmp_path / "a.txt"
+        atomic_write_text(target, "original")
+        with pytest.raises(RuntimeError, match="boom"):
+            with atomic_write(target) as fh:
+                fh.write("partial")
+                raise RuntimeError("boom")
+        assert target.read_text() == "original"
+        # The temp file is cleaned up, not left littering the directory.
+        assert [p.name for p in tmp_path.iterdir()] == ["a.txt"]
+
+    def test_rejects_non_write_modes(self, tmp_path):
+        with pytest.raises(ValueError, match="mode"):
+            with atomic_write(tmp_path / "a", mode="r"):
+                pass
+
+    def test_no_partial_file_visible_before_commit(self, tmp_path):
+        target = tmp_path / "a.txt"
+        with atomic_write(target) as fh:
+            fh.write("content")
+            assert not target.exists()
+        assert target.read_text() == "content"
+
+
+# -- container format -------------------------------------------------------
+
+
+def _write_sample(path):
+    manifest = {"iteration": 3, "note": "sample"}
+    arrays = {
+        "global_params": np.arange(5, dtype=float),
+        "optimizer/velocity/0": np.ones((2, 2)),
+    }
+    texts = {"history.jsonl": '{"schema": "x"}\n'}
+    write_checkpoint(path, manifest, arrays, texts)
+    return manifest, arrays, texts
+
+
+class TestContainerFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        _, arrays, texts = _write_sample(path)
+        ckpt = read_checkpoint(path)
+        assert ckpt.manifest["schema"] == CKPT_SCHEMA
+        assert ckpt.iteration == 3
+        for key, value in arrays.items():
+            np.testing.assert_array_equal(ckpt.arrays[key], value)
+        assert ckpt.texts == texts
+
+    def test_bytes_are_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.ckpt", tmp_path / "b.ckpt"
+        _write_sample(a)
+        _write_sample(b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_tampered_member_names_member_and_digests(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        _write_sample(path)
+        # Rewrite the zip with one array payload flipped.
+        with zipfile.ZipFile(path) as zf:
+            members = {n: zf.read(n) for n in zf.namelist()}
+        tampered = np.arange(5, dtype=float) + 1.0
+        import io
+
+        buf = io.BytesIO()
+        np.save(buf, tampered, allow_pickle=False)
+        members["arrays/global_params.npy"] = buf.getvalue()
+        with zipfile.ZipFile(path, "w") as zf:
+            for name, data in members.items():
+                zf.writestr(name, data)
+        with pytest.raises(CheckpointError) as err:
+            read_checkpoint(path)
+        message = str(err.value)
+        assert "arrays/global_params.npy" in message
+        assert "sha256" in message
+        # Unverified reads still work (e.g. forensic inspection).
+        ckpt = read_checkpoint(path, verify=False)
+        np.testing.assert_array_equal(ckpt.arrays["global_params"], tampered)
+
+    def test_truncated_file_is_a_clear_error(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        _write_sample(path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError, match="truncated or corrupt"):
+            read_checkpoint(path)
+
+    def test_missing_member_is_a_clear_error(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        _write_sample(path)
+        with zipfile.ZipFile(path) as zf:
+            members = {n: zf.read(n) for n in zf.namelist()}
+        del members["history.jsonl"]
+        with zipfile.ZipFile(path, "w") as zf:
+            for name, data in members.items():
+                zf.writestr(name, data)
+        with pytest.raises(CheckpointError, match="missing member"):
+            read_checkpoint(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        with zipfile.ZipFile(path, "w") as zf:
+            zf.writestr(
+                "manifest.json", json.dumps({"schema": "repro-ckpt/v999"})
+            )
+        with pytest.raises(CheckpointError, match="repro-ckpt/v999"):
+            read_checkpoint(path)
+
+    def test_not_a_zip_rejected(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        path.write_text("this is not a checkpoint")
+        with pytest.raises(CheckpointError, match="truncated or corrupt"):
+            read_checkpoint(path)
+
+    def test_discovery_helpers(self, tmp_path):
+        assert checkpoint_paths(tmp_path) == []
+        assert latest_checkpoint(tmp_path) is None
+        for i in (2, 10, 1):
+            _write_sample(tmp_path / f"ckpt-{i:08d}.ckpt")
+        paths = checkpoint_paths(tmp_path)
+        assert [p.name for p in paths] == [
+            "ckpt-00000001.ckpt",
+            "ckpt-00000002.ckpt",
+            "ckpt-00000010.ckpt",
+        ]
+        assert latest_checkpoint(tmp_path).name == "ckpt-00000010.ckpt"
+
+    def test_verify_checkpoint_returns_manifest(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        _write_sample(path)
+        assert verify_checkpoint(path)["iteration"] == 3
+
+
+# -- state_dict round-trips -------------------------------------------------
+
+
+def _optimizer_pair(make):
+    rng = np.random.default_rng(3)
+    model_a = make_logistic_regression(4, rng=np.random.default_rng(5))
+    model_b = make_logistic_regression(4, rng=np.random.default_rng(5))
+    opt_a, opt_b = make(model_a.parameters()), make(model_b.parameters())
+    for p in model_a.parameters():
+        p.grad[...] = rng.normal(size=p.data.shape)
+    opt_a.step()
+    opt_a.step()
+    return model_a, opt_a, model_b, opt_b
+
+
+class TestOptimizerState:
+    def test_momentum_roundtrip(self):
+        model_a, opt_a, model_b, opt_b = _optimizer_pair(
+            lambda ps: Momentum(ps, 0.1, momentum=0.9)
+        )
+        opt_b.load_state_dict(opt_a.state_dict())
+        model_b.load_state_dict(model_a.state_dict())
+        for p in model_b.parameters():
+            p.grad[...] = 0.5
+        for p in model_a.parameters():
+            p.grad[...] = 0.5
+        opt_a.step()
+        opt_b.step()
+        for pa, pb in zip(model_a.parameters(), model_b.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_adam_roundtrip_restores_step_count(self):
+        _, opt_a, _, opt_b = _optimizer_pair(lambda ps: Adam(ps, 0.01))
+        state = opt_a.state_dict()
+        assert state["scalars"]["t"] == 2
+        opt_b.load_state_dict(state)
+        assert opt_b._t == 2
+
+    def test_sgd_is_stateless(self):
+        _, opt_a, _, opt_b = _optimizer_pair(lambda ps: SGD(ps, 0.1))
+        state = opt_a.state_dict()
+        assert state == {"type": "SGD", "scalars": {}, "slots": {}}
+        opt_b.load_state_dict(state)
+
+    def test_type_mismatch_rejected(self):
+        _, opt_a, _, _ = _optimizer_pair(lambda ps: SGD(ps, 0.1))
+        with pytest.raises(ValueError, match="Momentum"):
+            opt_a.load_state_dict({"type": "Momentum", "scalars": {}, "slots": {}})
+
+    def test_slot_shape_mismatch_rejected(self):
+        _, opt_a, _, _ = _optimizer_pair(
+            lambda ps: Momentum(ps, 0.1, momentum=0.9)
+        )
+        state = opt_a.state_dict()
+        state["slots"]["velocity"][0] = np.zeros(99)
+        with pytest.raises(ValueError, match="shape"):
+            opt_a.load_state_dict(state)
+
+
+class TestModuleState:
+    def test_roundtrip_preserves_buffer_identity(self):
+        model = make_logistic_regression(4, rng=np.random.default_rng(0))
+        other = make_logistic_regression(4, rng=np.random.default_rng(1))
+        buffers = [p.data for p in other.parameters()]
+        other.load_state_dict(model.state_dict())
+        for p, buf in zip(other.parameters(), buffers):
+            assert p.data is buf  # optimizer slot bindings stay valid
+        for pa, pb in zip(model.parameters(), other.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_missing_and_mismatched_entries_rejected(self):
+        model = make_logistic_regression(4, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="entries"):
+            model.load_state_dict({})
+        state = model.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((9, 9))
+        with pytest.raises(ValueError, match="shape"):
+            model.load_state_dict(state)
+
+
+class TestFeedbackAndLedgerState:
+    def test_estimator_roundtrip(self):
+        a = GlobalUpdateEstimator(3, staleness=1)
+        a.observe(np.array([1.0, 2.0, 3.0]))
+        a.observe(np.array([1.1, 2.1, 3.1]))
+        b = GlobalUpdateEstimator(3, staleness=1)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(b.estimate, a.estimate)
+        assert b.delta_updates == a.delta_updates
+
+    def test_estimator_shape_checks(self):
+        a = GlobalUpdateEstimator(3)
+        with pytest.raises(ValueError, match="parameters"):
+            a.load_state_dict(
+                {"n_params": 4, "staleness": 1, "history": [], "delta_updates": []}
+            )
+        with pytest.raises(ValueError, match="staleness"):
+            a.load_state_dict(
+                {"n_params": 3, "staleness": 2, "history": [], "delta_updates": []}
+            )
+
+    def test_ledger_roundtrip_restores_int_keys(self):
+        a = CommunicationLedger(n_params=10)
+        a.record_round([0, 2], [1])
+        a.record_round([1], [0, 2])
+        b = CommunicationLedger(n_params=10)
+        b.load_state_dict(a.state_dict())
+        assert b.accumulated_rounds == a.accumulated_rounds
+        assert b.skips_per_client == {1: 1, 0: 1, 2: 1}
+        assert all(isinstance(k, int) for k in b.uploads_per_client)
+        assert b.rounds_per_iteration == [2, 1]
+
+    def test_ledger_n_params_check(self):
+        a = CommunicationLedger(n_params=10)
+        b = CommunicationLedger(n_params=11)
+        with pytest.raises(ValueError, match="parameters"):
+            b.load_state_dict(a.state_dict())
+
+    def test_stateless_policy_rejects_state(self):
+        policy = CMFLPolicy(InverseSqrtThreshold(0.7))
+        assert policy.state_dict() == {}
+        with pytest.raises(ValueError, match="stateless"):
+            UploadPolicy().load_state_dict({"x": 1})
+
+
+class TestSamplerState:
+    def test_uniform_sampler_rng_continuation(self):
+        a = UniformSampler(0.5, rng=123)
+        b = UniformSampler(0.5, rng=999)
+        a._rng.random(7)  # advance the stream
+        b.load_state_dict(a.state_dict())
+        assert b._rng.random() == a._rng.random()
+
+    def test_unreliable_recurses_into_base(self):
+        a = UnreliableParticipation(UniformSampler(0.5, rng=1), 0.2, rng=2)
+        b = UnreliableParticipation(UniformSampler(0.5, rng=3), 0.2, rng=4)
+        b.load_state_dict(a.state_dict())
+        assert b._rng.random() == a._rng.random()
+        assert b.base._rng.random() == a.base._rng.random()
+
+    def test_full_participation_is_stateless(self):
+        sampler = FullParticipation()
+        assert sampler.state_dict() == {}
+        with pytest.raises(ValueError, match="stateless"):
+            sampler.load_state_dict({"rng": {}})
+
+    def test_restore_generator_rejects_unknown(self):
+        with pytest.raises(ValueError, match="bit generator"):
+            restore_generator({"bit_generator": "NotAGenerator"})
+
+
+# -- history continuation ---------------------------------------------------
+
+
+def _history(policy="cmfl", n=3):
+    history = RunHistory(policy_name=policy)
+    for t in range(1, n + 1):
+        history.append(
+            RoundRecord(
+                iteration=t, n_clients=4, n_uploaded=2,
+                accumulated_rounds=2 * t, total_bytes=100 * t, lr=0.1,
+                mean_train_loss=1.0 / t, mean_score=0.5, threshold=0.7,
+                uploaded_ids=[0, 1],
+            )
+        )
+    return history
+
+
+class TestHistoryContinuation:
+    def test_append_extends_existing_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _history(n=2).to_jsonl(path)
+        _history(n=4).to_jsonl(path, append=True)
+        assert len(RunHistory.from_jsonl(path)) == 4
+
+    def test_append_refuses_divergent_history(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _history(n=3).to_jsonl(path)
+        divergent = _history(n=4)
+        divergent.records[1].mean_train_loss = 99.0
+        with pytest.raises(ValueError, match="diverges at iteration 2"):
+            divergent.to_jsonl(path, append=True)
+
+    def test_append_refuses_policy_mismatch(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _history(policy="cmfl").to_jsonl(path)
+        with pytest.raises(ValueError, match="policy"):
+            _history(policy="vanilla").to_jsonl(path, append=True)
+
+    def test_append_refuses_shorter_history(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _history(n=4).to_jsonl(path)
+        with pytest.raises(ValueError, match="refusing to overwrite"):
+            _history(n=2).to_jsonl(path, append=True)
+
+
+# -- trace truncation + tracer continuation ---------------------------------
+
+
+class TestTraceContinuation:
+    def test_truncate_drops_tail_and_partial_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        lines = [encode_event({"seq": i, "kind": "point"}) for i in range(6)]
+        path.write_text("\n".join(lines[:4]) + "\n" + '{"seq": 4, "ki')
+        assert truncate_trace(path, 3) == 3
+        kept = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [e["seq"] for e in kept] == [0, 1, 2]
+
+    def test_tracer_state_roundtrip_continues_stream(self):
+        sink = MemorySink()
+        tracer = Tracer(sinks=[sink])
+        span = tracer.span("run", policy="cmfl")
+        span.__enter__()
+        tracer.metrics.counter("comm.uploads").inc(3)
+        state = tracer.export_state()
+
+        fresh_sink = MemorySink()
+        fresh = Tracer(sinks=[fresh_sink], emit_header=False)
+        fresh.restore_state(state)
+        assert fresh.current_span().name == "run"
+        fresh.metrics.counter("comm.uploads").inc(2)
+        event = fresh_sink.events[-1]
+        assert event["seq"] == state["seq"]
+        assert event["attrs"]["value"] == 5  # counter kept counting
+
+    def test_restore_state_requires_fresh_tracer(self):
+        used = Tracer(sinks=[MemorySink()])  # header consumed seq 0
+        with pytest.raises(RuntimeError, match="fresh tracer"):
+            used.restore_state({"seq": 5, "next_id": 2, "open_spans": [],
+                                "metrics": {}})
+
+
+# -- Checkpointer scheduling ------------------------------------------------
+
+
+class _FakeTrainer:
+    """The minimum surface save_checkpoint touches, without a federation."""
+
+    def __init__(self):
+        from repro.obs import NULL_TRACER
+
+        self.tracer = NULL_TRACER
+        self.history = _history(n=2)
+
+
+def _checkpointer_with_stub(tmp_path, **kw):
+    ckpt = Checkpointer(tmp_path, **kw)
+
+    def fake_save(trainer, path):
+        path.write_bytes(b"stub")
+        return path
+
+    import repro.ckpt.checkpointer as mod
+
+    return ckpt, mod, fake_save
+
+
+class TestCheckpointer:
+    def test_schedule_and_naming(self, tmp_path):
+        ckpt = Checkpointer(tmp_path, every_n_rounds=3)
+        assert [ckpt.due(t) for t in (1, 2, 3, 4, 6)] == [
+            False, False, True, False, True,
+        ]
+        assert ckpt.path_for(7).name == "ckpt-00000007.ckpt"
+
+    def test_retention_prunes_oldest(self, tmp_path, monkeypatch):
+        ckpt, mod, fake_save = _checkpointer_with_stub(tmp_path, keep=2)
+        monkeypatch.setattr(mod, "save_checkpoint", fake_save)
+        trainer = _FakeTrainer()
+        for n in range(1, 5):
+            trainer.history = _history(n=n)
+            ckpt.save(trainer)
+        assert [p.name for p in ckpt.checkpoints()] == [
+            "ckpt-00000003.ckpt",
+            "ckpt-00000004.ckpt",
+        ]
+
+    def test_keep_zero_retains_all(self, tmp_path, monkeypatch):
+        ckpt, mod, fake_save = _checkpointer_with_stub(tmp_path, keep=0)
+        monkeypatch.setattr(mod, "save_checkpoint", fake_save)
+        trainer = _FakeTrainer()
+        for n in range(1, 5):
+            trainer.history = _history(n=n)
+            ckpt.save(trainer)
+        assert len(ckpt.checkpoints()) == 4
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            Checkpointer(tmp_path, every_n_rounds=0)
+        with pytest.raises(ValueError):
+            Checkpointer(tmp_path, keep=-1)
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+class TestCkptCli:
+    def test_inspect_and_verify(self, tmp_path, capsys):
+        path = tmp_path / "a.ckpt"
+        manifest = {
+            "iteration": 2,
+            "policy": {"name": "cmfl", "state": {}},
+            "n_params": 5,
+            "optimizer": {"type": "SGD", "scalars": {}, "slots": {}},
+            "executor": {"backend": "serial"},
+            "trace": None,
+        }
+        write_checkpoint(
+            path, manifest, {"global_params": np.zeros(5)}, {"history.jsonl": "{}"}
+        )
+        assert ckpt_cli(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "iteration       2" in out
+        assert "arrays/global_params.npy" in out
+        assert ckpt_cli(["verify", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_fails_on_corruption(self, tmp_path, capsys):
+        path = tmp_path / "a.ckpt"
+        _write_sample(path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert ckpt_cli(["verify", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_diff(self, tmp_path, capsys):
+        a, b = tmp_path / "a.ckpt", tmp_path / "b.ckpt"
+        _write_sample(a)
+        manifest = {"iteration": 3, "note": "sample"}
+        arrays = {
+            "global_params": np.arange(5, dtype=float) + 0.5,
+            "optimizer/velocity/0": np.ones((2, 2)),
+        }
+        write_checkpoint(b, manifest, arrays, {"history.jsonl": '{"schema": "x"}\n'})
+        assert ckpt_cli(["diff", str(a), str(a)]) == 0
+        assert "identical" in capsys.readouterr().out
+        assert ckpt_cli(["diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "global_params" in out

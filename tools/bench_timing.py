@@ -2,9 +2,10 @@
 """Write the machine-readable round-throughput baseline.
 
 Runs the timing sweep from :mod:`repro.experiments.timing` — every
-execution backend on the digits-CNN and linear workloads — and writes
-``BENCH_timing.json`` at the repo root.  Compare two baselines with
-``tools/bench_compare.py``.
+execution backend on the digits-CNN and linear workloads, plus the
+im2col and checkpoint save/restore micro-benchmarks — and atomically
+writes ``BENCH_timing.json`` at the repo root.  Compare two baselines
+with ``tools/bench_compare.py``.
 
 Usage::
 

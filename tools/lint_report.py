@@ -24,6 +24,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.lint import Linter, load_config  # noqa: E402
 from repro.lint.reporting import summarize  # noqa: E402
 from repro.lint.rules import DEFAULT_RULES  # noqa: E402
+from repro.utils.atomic_io import atomic_write_text  # noqa: E402
 
 
 def build_report(paths: list[str]) -> dict:
@@ -63,7 +64,7 @@ def main(argv: list[str] | None = None) -> int:
     report = build_report(list(args.paths))
     text = json.dumps(report, indent=2, sort_keys=True)
     if args.output:
-        args.output.write_text(text + "\n")
+        atomic_write_text(args.output, text + "\n")
     else:
         print(text)
     return 0
