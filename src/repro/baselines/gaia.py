@@ -70,9 +70,9 @@ class GaiaPolicy(UploadPolicy):
             raise ValueError(f"unknown mode {mode!r}; choices: {MODES}")
         if not 0.0 < min_significant_fraction <= 1.0:
             raise ValueError("min_significant_fraction must be in (0, 1]")
-        self.threshold = threshold
-        self.mode = mode
-        self.min_significant_fraction = min_significant_fraction
+        self.threshold = threshold  # ckpt: transient — schedule rebuilt from config
+        self.mode = mode  # ckpt: transient — constructor constant
+        self.min_significant_fraction = min_significant_fraction  # ckpt: transient — constructor constant
 
     def decide(self, update: np.ndarray, ctx: PolicyContext) -> UploadDecision:
         thr = self.threshold(ctx.iteration)

@@ -16,7 +16,7 @@ the wire ledger charged only for the significant ones.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Any, Dict, List
 
 import numpy as np
 
@@ -66,8 +66,26 @@ class GaiaPartialPolicy(UploadPolicy):
     name = "gaia_partial"
 
     def __init__(self, threshold: ThresholdSchedule) -> None:
-        self.threshold = threshold
+        self.threshold = threshold  # ckpt: transient — schedule rebuilt from config
         self.stats = PartialSyncStats()
+
+    def state_dict(self) -> Dict[str, Any]:
+        """The stats ledger accumulates across rounds and must survive
+        a checkpoint resume, or reported savings silently reset."""
+        return {
+            "shipped_bytes": self.stats.shipped_bytes,
+            "dense_equivalent_bytes": self.stats.dense_equivalent_bytes,
+            "significant_fractions": list(self.stats.significant_fractions),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.stats = PartialSyncStats(
+            shipped_bytes=int(state["shipped_bytes"]),
+            dense_equivalent_bytes=int(state["dense_equivalent_bytes"]),
+            significant_fractions=[
+                float(f) for f in state["significant_fractions"]
+            ],
+        )
 
     def decide(self, update: np.ndarray, ctx: PolicyContext) -> UploadDecision:
         thr = self.threshold(ctx.iteration)

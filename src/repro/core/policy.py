@@ -113,7 +113,7 @@ class CMFLPolicy(UploadPolicy):
     name = "cmfl"
 
     def __init__(self, threshold: ThresholdSchedule) -> None:
-        self.threshold = threshold
+        self.threshold = threshold  # ckpt: transient — schedule rebuilt from config
 
     def decide(self, update: np.ndarray, ctx: PolicyContext) -> UploadDecision:
         score = relevance(

@@ -63,6 +63,7 @@ __all__ = [
     "time_backend",
     "time_checkpoint",
     "time_im2col",
+    "time_lint",
     "write_baseline",
 ]
 
@@ -274,6 +275,40 @@ def time_checkpoint(reps: int = 5, rounds: int = 2) -> Dict[str, object]:
     }
 
 
+def time_lint() -> Dict[str, object]:
+    """Whole-program lint over ``src/repro``, cold vs warm cache.
+
+    The warm figure is the second run against the cache the cold run
+    just wrote: every file re-hashes but nothing re-parses, and the
+    flow phase reuses its per-module findings.  ``speedup`` (cold over
+    warm) is the number gated by ``tools/bench_compare.py``.
+    """
+    from repro.lint import ProjectAnalyzer, load_config
+
+    target = Path(__file__).resolve().parents[1]  # .../src/repro
+    config = load_config(target)
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = Path(tmp) / "lint_cache.json"
+        start = perf_counter()
+        cold = ProjectAnalyzer(
+            config=config, cache_path=cache, jobs=2
+        ).analyze([str(target)])
+        cold_s = perf_counter() - start
+        start = perf_counter()
+        warm = ProjectAnalyzer(
+            config=config, cache_path=cache, jobs=2
+        ).analyze([str(target)])
+        warm_s = perf_counter() - start
+    return {
+        "files": cold.stats["files"],
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "warm_cache_hits": warm.stats["cache_hits"],
+        "findings": len(warm.violations),
+    }
+
+
 def run_timing(
     backends: Sequence[str] = DEFAULT_BACKENDS,
     workers: int = 4,
@@ -296,7 +331,11 @@ def run_timing(
             "backends": list(backends),
         },
         "workloads": {},
-        "micro": {"im2col": time_im2col(), "checkpoint": time_checkpoint()},
+        "micro": {
+            "im2col": time_im2col(),
+            "checkpoint": time_checkpoint(),
+            "lint": time_lint(),
+        },
     }
     for workload in workloads:
         per_backend: Dict[str, object] = {}
@@ -358,5 +397,12 @@ def format_report(payload: Dict[str, object]) -> str:
             f"save {ckpt['sec_per_save'] * 1e3:.2f} ms, "
             f"load+verify {ckpt['sec_per_load_verify'] * 1e3:.2f} ms, "
             f"{ckpt['bytes_on_disk']} bytes on disk"
+        )
+    lint = payload["micro"].get("lint")
+    if lint:
+        lines.append(
+            f"whole-program lint ({lint['files']} files): "
+            f"cold {lint['cold_s']:.2f} s, warm {lint['warm_s']:.2f} s "
+            f"-> {lint['speedup']:.1f}x"
         )
     return "\n".join(lines)

@@ -35,7 +35,7 @@ class CommunicationLedger:
     skips_per_client: Dict[int, int] = field(default_factory=dict)
     uploads_per_client: Dict[int, int] = field(default_factory=dict)
     rounds_per_iteration: List[int] = field(default_factory=list)
-    metrics: Optional[MetricsRegistry] = field(
+    metrics: Optional[MetricsRegistry] = field(  # ckpt: transient — live registry binding
         default=None, repr=False, compare=False
     )
 

@@ -42,7 +42,7 @@ class FLClient:
         if client_id < 0:
             raise ValueError("client_id must be >= 0")
         self.client_id = client_id
-        self.train_data = train_data
+        self.train_data = train_data  # ckpt: transient — immutable dataset, re-supplied at build
         self._rng = ensure_rng(rng)
 
     @property

@@ -60,7 +60,7 @@ class UniformSampler(ClientSampler):
     def __init__(self, fraction: float, rng: RngLike = None) -> None:
         if not 0.0 < fraction <= 1.0:
             raise ValueError(f"fraction must be in (0, 1], got {fraction}")
-        self.fraction = fraction
+        self.fraction = fraction  # ckpt: transient — constructor constant
         self._rng = ensure_rng(rng)
 
     def select(self, iteration: int, clients: Sequence[FLClient]) -> List[FLClient]:
@@ -95,7 +95,7 @@ class UnreliableParticipation(ClientSampler):
                 f"drop_probability must be in [0, 1), got {drop_probability}"
             )
         self.base = base
-        self.drop_probability = drop_probability
+        self.drop_probability = drop_probability  # ckpt: transient — constructor constant
         self._rng = ensure_rng(rng)
 
     def select(self, iteration: int, clients: Sequence[FLClient]) -> List[FLClient]:

@@ -77,8 +77,8 @@ class FederatedTrainer:
         self.workspace = workspace
         self.clients = list(clients)
         self.policy = policy
-        self.config = config
-        self.eval_fn = eval_fn
+        self.config = config  # ckpt: transient — caller-supplied, re-passed on restore
+        self.eval_fn = eval_fn  # ckpt: transient — caller-supplied callable
         self.sampler = sampler or FullParticipation()
         self.server = FLServer(
             workspace.get_flat(),
@@ -88,7 +88,7 @@ class FederatedTrainer:
         # Observability: an explicit tracer wins; otherwise the config
         # knobs build one (JSONL file if trace_path, else in-memory).
         # The trainer closes only tracers it built itself.
-        self._owns_tracer = False
+        self._owns_tracer = False  # ckpt: transient — rebuilt with the tracer itself
         if tracer is not None:
             self.tracer = tracer
         elif config.trace_enabled:
@@ -117,7 +117,7 @@ class FederatedTrainer:
         # Run-state persistence (see repro.ckpt), driven by the
         # checkpoint_* config knobs.  Imported lazily: repro.ckpt
         # imports fl modules, so a module-level import would cycle.
-        self.checkpointer = None
+        self.checkpointer = None  # ckpt: transient — the persistence driver, not run state
         if config.checkpoint_enabled:
             from repro.ckpt import Checkpointer
 
@@ -128,10 +128,10 @@ class FederatedTrainer:
             )
         # Open "run" span adopted from a checkpoint by restore();
         # run() continues it instead of opening a fresh one.
-        self._resume_span = None
+        self._resume_span = None  # ckpt: transient — live span handle, re-adopted by restore()
         # Hook for measurement experiments: called with every
         # (client update, decision) pair before aggregation.
-        self.on_decision: Optional[Callable] = None
+        self.on_decision: Optional[Callable] = None  # ckpt: transient — in-process hook
 
     def run_round(self, t: int) -> RoundRecord:
         """Execute one synchronous iteration (1-based index ``t``)."""

@@ -26,7 +26,8 @@ silences the rule for the whole file.  Rules are configured in
 
 from repro.lint.config import LintConfig, RuleSettings, load_config
 from repro.lint.engine import FileContext, LintRule, Linter, Violation, run_lint
-from repro.lint.reporting import format_json, format_text
+from repro.lint.project import AnalysisResult, ProjectAnalyzer, ProjectModel
+from repro.lint.reporting import format_json, format_sarif, format_text
 from repro.lint.rules import (
     AllExportsRule,
     DEFAULT_RULES,
@@ -39,6 +40,7 @@ from repro.lint.rules import (
 
 __all__ = [
     "AllExportsRule",
+    "AnalysisResult",
     "DEFAULT_RULES",
     "ExplicitDtypeRule",
     "FileContext",
@@ -48,10 +50,13 @@ __all__ = [
     "NoGlobalRngRule",
     "NoParamMutationRule",
     "NoWallclockSeedRule",
+    "ProjectAnalyzer",
+    "ProjectModel",
     "RuleSettings",
     "UnusedPureResultRule",
     "Violation",
     "format_json",
+    "format_sarif",
     "format_text",
     "load_config",
     "run_lint",

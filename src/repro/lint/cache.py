@@ -1,0 +1,172 @@
+"""Incremental analysis cache for the whole-program pass.
+
+Layout (``repro-lint-cache/v1``)::
+
+    {
+      "schema": "repro-lint-cache/v1",
+      "extractor_version": 2,
+      "config_key": "<sha256 of the effective rule config>",
+      "modules": {
+        "<package_path>": {
+          "sha": "<sha256 of file content>",
+          "summary": {...},          # ModuleSummary.to_json()
+          "violations": [[rule, path, line, col, message, severity], ...]
+        }
+      },
+      "flow": {
+        "<package_path>": {
+          "key": "<digest of own sha + forward-import-closure shas>",
+          "findings": [[rule, path, line, col, message, severity], ...]
+        }
+      }
+    }
+
+Per-file entries are keyed by content SHA-256, so a warm run re-reads
+and re-hashes each file but skips ``ast.parse`` and rule execution for
+unchanged ones.  Flow findings are keyed by the digest of a module's
+*forward* import closure — module M's findings are recomputed exactly
+when some module in its closure changed, which is the reverse-import-
+closure invalidation the engine promises, expressed per consumer.
+
+A missing, corrupt, or version-skewed cache is silently treated as
+cold; the cache must never turn into an engine failure (exit 2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.lint.engine import Violation
+
+__all__ = ["AnalysisCache", "config_key"]
+
+SCHEMA = "repro-lint-cache/v1"
+
+
+def config_key(config_data: Any) -> str:
+    """Stable digest of whatever configuration affects findings."""
+    blob = json.dumps(config_data, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _pack(violations: List[Violation]) -> List[List]:
+    return [
+        [v.rule, v.path, v.line, v.col, v.message, v.severity]
+        for v in violations
+    ]
+
+
+def _unpack(rows: List[List]) -> List[Violation]:
+    return [
+        Violation(
+            rule=row[0],
+            path=row[1],
+            line=row[2],
+            col=row[3],
+            message=row[4],
+            severity=row[5],
+        )
+        for row in rows
+    ]
+
+
+class AnalysisCache:
+    """Load/store per-file summaries and per-module flow findings."""
+
+    def __init__(self, path: Optional[Path], key: str) -> None:
+        from repro.lint.project import EXTRACTOR_VERSION
+
+        self.path = path
+        self.key = key
+        self.extractor_version = EXTRACTOR_VERSION
+        self.modules: Dict[str, Dict] = {}
+        self.flow: Dict[str, Dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.flow_hits = 0
+        if path is not None and path.exists():
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                return
+            if (
+                payload.get("schema") == SCHEMA
+                and payload.get("config_key") == key
+                and payload.get("extractor_version") == EXTRACTOR_VERSION
+            ):
+                self.modules = payload.get("modules", {})
+                self.flow = payload.get("flow", {})
+
+    # -- per-file summaries + v1 violations ---------------------------------
+
+    def lookup_module(self, package_path: str, sha: str) -> Optional[Dict]:
+        """Cached ``{"summary", "violations"}`` for an unchanged file."""
+        entry = self.modules.get(package_path)
+        if entry is not None and entry.get("sha") == sha:
+            self.hits += 1
+            return {
+                "summary": entry["summary"],
+                "violations": _unpack(entry["violations"]),
+            }
+        self.misses += 1
+        return None
+
+    def store_module(
+        self,
+        package_path: str,
+        sha: str,
+        summary: Optional[Dict],
+        violations: List[Violation],
+    ) -> None:
+        self.modules[package_path] = {
+            "sha": sha,
+            "summary": summary,
+            "violations": _pack(violations),
+        }
+
+    # -- per-module flow findings -------------------------------------------
+
+    def lookup_flow(self, package_path: str, key: str) -> Optional[List[Violation]]:
+        entry = self.flow.get(package_path)
+        if entry is not None and entry.get("key") == key:
+            self.flow_hits += 1
+            return _unpack(entry["findings"])
+        return None
+
+    def store_flow(
+        self, package_path: str, key: str, findings: List[Violation]
+    ) -> None:
+        self.flow[package_path] = {"key": key, "findings": _pack(findings)}
+
+    # -- persistence --------------------------------------------------------
+
+    def prune(self, live_package_paths) -> None:
+        """Drop entries for files no longer in the analyzed set."""
+        live = set(live_package_paths)
+        self.modules = {
+            pp: e for pp, e in self.modules.items() if pp in live
+        }
+        self.flow = {pp: e for pp, e in self.flow.items() if pp in live}
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        from repro.utils.atomic_io import atomic_write_text
+
+        payload = {
+            "schema": SCHEMA,
+            "extractor_version": self.extractor_version,
+            "config_key": self.key,
+            "modules": self.modules,
+            "flow": self.flow,
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(
+                self.path, json.dumps(payload, sort_keys=True)
+            )
+        except OSError:
+            pass  # a cache that cannot be written is just a cold cache

@@ -1,0 +1,167 @@
+"""Call-graph construction over the project model.
+
+Edges come from the per-function call lists collected in phase 1.
+Resolution is deliberately conservative:
+
+* ``("ref", canonical)`` call sites resolve through the import table
+  that canonicalised them (classes resolve to ``__init__``);
+* ``("self", name)`` resolves against the defining class's MRO within
+  the project;
+* ``("method", name)`` — a call ``obj.name(...)`` on a value whose type
+  is unknown — resolves by class-hierarchy analysis to *every* project
+  method with that name, minus a stoplist of ubiquitous container /
+  ndarray method names that would otherwise connect everything to
+  everything.
+
+The graph exists to answer one question for the shared-state-race rule:
+which functions are reachable from a worker-executed entry point?
+Over-approximation is safe (it only widens the checked set); silent
+under-approximation is what the stoplist is kept small to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.lint.project import ProjectModel
+
+__all__ = ["METHOD_STOPLIST", "build_call_graph", "reachable_from", "worker_entry_points"]
+
+#: Method names too generic to resolve via CHA — stdlib container,
+#: ndarray, executor-future and metrics-counter vocabulary.  A project
+#: method deliberately named like one of these will not get bare-call
+#: edges; name project methods distinctively.
+METHOD_STOPLIST = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "get",
+        "put",
+        "pop",
+        "popleft",
+        "items",
+        "keys",
+        "values",
+        "add",
+        "discard",
+        "remove",
+        "clear",
+        "copy",
+        "sort",
+        "index",
+        "count",
+        "join",
+        "split",
+        "strip",
+        "format",
+        "startswith",
+        "endswith",
+        "encode",
+        "decode",
+        "read",
+        "write",
+        "close",
+        "flush",
+        "mean",
+        "sum",
+        "min",
+        "max",
+        "std",
+        "astype",
+        "reshape",
+        "ravel",
+        "tolist",
+        "item",
+        "fill",
+        "dot",
+        "inc",
+        "observe",
+        "set",
+        "set_attr",
+        "set_rt",
+        "cancel",
+        "result",
+        "done",
+        "submit",
+        "map",
+        "shutdown",
+        "update",
+        "setdefault",
+    }
+)
+
+
+def _resolve_call(
+    project: ProjectModel, caller_fid: str, call: Dict
+) -> List[str]:
+    kind, target = call["k"], call["v"]
+    if kind == "ref":
+        fid = project.resolve_function(target)
+        return [fid] if fid is not None else []
+    if kind == "self":
+        pp, cls_name, _ = project.functions[caller_fid]
+        if cls_name is None:
+            return []
+        mod = project.modules[pp].module
+        fid = project.resolve_method(f"{mod}.{cls_name}", target)
+        return [fid] if fid is not None else []
+    if kind == "method":
+        if target in METHOD_STOPLIST:
+            return []
+        return list(project.methods_by_name.get(target, ()))
+    return []
+
+
+def build_call_graph(project: ProjectModel) -> Dict[str, Set[str]]:
+    """Map each function id to the set of function ids it may call."""
+    graph: Dict[str, Set[str]] = {}
+    for fid, (_, _, facts) in project.functions.items():
+        callees: Set[str] = set()
+        for call in facts["calls"]:
+            callees.update(_resolve_call(project, fid, call))
+        graph[fid] = callees
+    return graph
+
+
+def worker_entry_points(project: ProjectModel) -> Set[str]:
+    """Function ids handed to an executor boundary.
+
+    Collected from the first positional argument of ``.submit(...)`` /
+    ``.apply_async(...)`` and from ``initializer=`` / ``target=``
+    keyword arguments of any call.
+    """
+    entries: Set[str] = set()
+    for fid, (pp, cls_name, facts) in project.functions.items():
+        for target in facts["entry_targets"]:
+            kind, value = target["k"], target["v"]
+            if kind == "ref":
+                resolved = project.resolve_function(value)
+                if resolved is not None:
+                    entries.add(resolved)
+            elif kind == "self" and cls_name is not None:
+                mod = project.modules[pp].module
+                resolved = project.resolve_method(
+                    f"{mod}.{cls_name}", value
+                )
+                if resolved is not None:
+                    entries.add(resolved)
+            elif kind == "method":
+                if value not in METHOD_STOPLIST:
+                    entries.update(project.methods_by_name.get(value, ()))
+    return entries
+
+
+def reachable_from(
+    graph: Dict[str, Set[str]], roots: Sequence[str]
+) -> Set[str]:
+    """BFS closure of ``roots`` over the call graph."""
+    seen: Set[str] = set()
+    queue = list(roots)
+    while queue:
+        current = queue.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        queue.extend(graph.get(current, ()))
+    return seen

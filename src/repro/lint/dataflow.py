@@ -1,0 +1,83 @@
+"""Cross-module taint resolution over the project model.
+
+Phase 1 records taint *symbolically*: an expression's taint value may
+say "tainted if any of these callees returns RNG taint".  This module
+closes that recursion with a fixpoint over function return summaries:
+a function is RNG-tainted when any of its recorded return expressions
+is directly tainted, names an RNG source, or resolves to a function
+already in the tainted set.  Iterate until no function changes — the
+lattice is two-point per function and merge is monotone, so the loop
+terminates in at most ``len(functions)`` passes (in practice 2-3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.lint.project import RNG_SOURCES, ProjectModel
+
+__all__ = ["compute_tainted_functions", "is_rng_tainted", "taint_reason"]
+
+
+def _resolve_dep(project: ProjectModel, canonical: str) -> Optional[str]:
+    return project.resolve_function(canonical)
+
+
+def compute_tainted_functions(project: ProjectModel) -> Set[str]:
+    """Function ids whose return value carries RNG taint."""
+    tainted: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for fid, (_, _, facts) in project.functions.items():
+            if fid in tainted:
+                continue
+            for ret in facts["returns"]:
+                if ret["d"]:
+                    tainted.add(fid)
+                    changed = True
+                    break
+                hit = False
+                for dep in ret["c"]:
+                    if dep in RNG_SOURCES:
+                        hit = True
+                        break
+                    dep_fid = _resolve_dep(project, dep)
+                    if dep_fid is not None and dep_fid in tainted:
+                        hit = True
+                        break
+                if hit:
+                    tainted.add(fid)
+                    changed = True
+                    break
+    return tainted
+
+
+def is_rng_tainted(
+    taint: Dict, project: ProjectModel, tainted: Set[str]
+) -> bool:
+    """Resolve a symbolic taint value against the function fixpoint."""
+    if taint.get("d"):
+        return True
+    for dep in taint.get("c", ()):
+        if dep in RNG_SOURCES:
+            return True
+        dep_fid = _resolve_dep(project, dep)
+        if dep_fid is not None and dep_fid in tainted:
+            return True
+    return False
+
+
+def taint_reason(
+    taint: Dict, project: ProjectModel, tainted: Set[str]
+) -> str:
+    """Human-readable provenance for a resolved taint, for messages."""
+    if taint.get("d"):
+        return "value constructed directly from an RNG source"
+    for dep in taint.get("c", ()):
+        if dep in RNG_SOURCES:
+            return f"value returned by RNG source {dep}"
+        dep_fid = _resolve_dep(project, dep)
+        if dep_fid is not None and dep_fid in tainted:
+            return f"value returned by RNG-tainted function {dep_fid}"
+    return "value carries RNG taint"

@@ -215,6 +215,15 @@ class Linter:
                     message=f"cannot parse file: {exc.msg}",
                 )
             ]
+        return self.lint_tree(ctx, tree)
+
+    def lint_tree(self, ctx: FileContext, tree: ast.Module) -> List[Violation]:
+        """Run the per-file rules over an already-parsed tree.
+
+        Split out of :meth:`lint_source` so the whole-program analyzer
+        (:mod:`repro.lint.project`) can parse each file exactly once and
+        feed the same tree to both the v1 rules and its own extractor.
+        """
         per_line, per_file = parse_suppressions(ctx.lines)
         violations: List[Violation] = []
         for rule_cls in self.rule_classes:

@@ -1,10 +1,10 @@
-"""Output formatters for lint results (text and JSON)."""
+"""Output formatters for lint results (text, JSON, SARIF)."""
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.lint.engine import Violation
 
@@ -32,7 +32,12 @@ def summarize(violations: Sequence[Violation]) -> Dict[str, object]:
     }
 
 
-def format_json(violations: Sequence[Violation]) -> str:
+def format_json(
+    violations: Sequence[Violation],
+    stats: Optional[Dict[str, object]] = None,
+) -> str:
+    """JSON payload; ``stats`` (whole-program runs) adds an ``analysis``
+    block with file counts, cache hit rates and wall time."""
     payload = {
         "violations": [
             {
@@ -47,7 +52,52 @@ def format_json(violations: Sequence[Violation]) -> str:
         ],
         "summary": summarize(violations),
     }
+    if stats is not None:
+        payload["analysis"] = stats
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-__all__ = ["format_json", "format_text", "summarize"]
+def format_sarif(violations: Sequence[Violation]) -> str:
+    """Minimal SARIF 2.1.0 — one run, one result per violation."""
+    rules = sorted({v.rule for v in violations})
+    results = [
+        {
+            "ruleId": v.rule,
+            "level": "error" if v.severity == "error" else "warning",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": v.path},
+                        "region": {
+                            "startLine": v.line,
+                            "startColumn": v.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": [{"id": rule} for rule in rules],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+__all__ = ["format_json", "format_sarif", "format_text", "summarize"]

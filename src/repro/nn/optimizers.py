@@ -33,8 +33,8 @@ class Optimizer:
             raise ValueError(f"lr must be positive, got {lr}")
         if not parameters:
             raise ValueError("optimizer needs at least one parameter")
-        self.parameters = list(parameters)
-        self.lr = lr
+        self.parameters = list(parameters)  # ckpt: transient — bound at build; values live in the workspace
+        self.lr = lr  # ckpt: transient — constructor constant
 
     def step(self, lr: Optional[float] = None) -> None:
         raise NotImplementedError
@@ -95,7 +95,7 @@ class SGD(Optimizer):
         super().__init__(parameters, lr)
         if weight_decay < 0:
             raise ValueError("weight_decay must be >= 0")
-        self.weight_decay = weight_decay
+        self.weight_decay = weight_decay  # ckpt: transient — constructor constant
 
     def step(self, lr: Optional[float] = None) -> None:
         eta = self.lr if lr is None else lr
@@ -119,8 +119,8 @@ class Momentum(Optimizer):
         super().__init__(parameters, lr)
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
-        self.momentum = momentum
-        self.weight_decay = weight_decay
+        self.momentum = momentum  # ckpt: transient — constructor constant
+        self.weight_decay = weight_decay  # ckpt: transient — constructor constant
         self._velocity: Dict[int, np.ndarray] = {
             id(p): np.zeros_like(p.data) for p in self.parameters
         }
@@ -168,9 +168,9 @@ class Adam(Optimizer):
         super().__init__(parameters, lr)
         if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
             raise ValueError("betas must be in [0, 1)")
-        self.beta1 = beta1
-        self.beta2 = beta2
-        self.eps = eps
+        self.beta1 = beta1  # ckpt: transient — constructor constant
+        self.beta2 = beta2  # ckpt: transient — constructor constant
+        self.eps = eps  # ckpt: transient — constructor constant
         self._t = 0
         self._m: Dict[int, np.ndarray] = {
             id(p): np.zeros_like(p.data) for p in self.parameters

@@ -115,13 +115,13 @@ class Tracer:
         clock: Callable[[], float] = monotonic,
         emit_header: bool = True,
     ) -> None:
-        self.sinks: List[TraceSink] = list(sinks or ())
+        self.sinks: List[TraceSink] = list(sinks or ())  # ckpt: transient — live I/O handles
         self.clock = clock
         self.metrics = MetricsRegistry(emit=self._metric_event)
         self._seq = 0
         self._next_id = 1
         self._stack: List[Span] = []
-        self._closed = False
+        self._closed = False  # ckpt: transient — lifecycle flag, always False for a live tracer
         if emit_header:
             self._emit(
                 {

@@ -65,6 +65,23 @@ def compare(before, after, threshold):
     return lines, regressions
 
 
+def check_lint_speedup(after, min_speedup):
+    """Gate the whole-program lint warm-cache speedup.
+
+    Returns (report_lines, failed).  A payload without a lint micro
+    entry (older baseline) passes — only the candidate is gated.
+    """
+    lint = after.get("micro", {}).get("lint")
+    if lint is None:
+        return ["  lint micro entry absent in AFTER (skipped)"], False
+    line = (
+        f"  lint cold {lint['cold_s']:.2f}s -> warm {lint['warm_s']:.2f}s "
+        f"({lint['speedup']:.1f}x, minimum {min_speedup:.1f}x)"
+    )
+    failed = float(lint["speedup"]) < min_speedup
+    return [line + (" REGRESSION" if failed else " ok")], failed
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("before", type=Path, help="baseline BENCH_timing.json")
@@ -75,6 +92,13 @@ def main(argv=None) -> int:
         default=0.2,
         help="max tolerated fractional throughput drop (default: 0.2)",
     )
+    parser.add_argument(
+        "--min-lint-speedup",
+        type=float,
+        default=3.0,
+        help="minimum warm-cache speedup for the whole-program lint "
+        "micro-benchmark (default: 3.0)",
+    )
     args = parser.parse_args(argv)
     if not 0 <= args.threshold < 1:
         parser.error("--threshold must be in [0, 1)")
@@ -82,13 +106,18 @@ def main(argv=None) -> int:
     before = json.loads(args.before.read_text())
     after = json.loads(args.after.read_text())
     lines, regressions = compare(before, after, args.threshold)
+    lint_lines, lint_failed = check_lint_speedup(
+        after, args.min_lint_speedup
+    )
 
     print(f"throughput comparison (threshold {args.threshold:.0%} drop):")
     print("\n".join(lines))
-    if regressions:
+    print("incremental lint cache:")
+    print("\n".join(lint_lines))
+    if regressions or lint_failed:
+        failures = len(regressions) + (1 if lint_failed else 0)
         print(
-            f"\nFAIL: {len(regressions)} pair(s) regressed by more than "
-            f"{args.threshold:.0%}"
+            f"\nFAIL: {failures} check(s) regressed beyond their threshold"
         )
         return 1
     print("\nOK: no pair regressed beyond the threshold")

@@ -4,10 +4,13 @@
 Usage::
 
     PYTHONPATH=src python tools/lint_report.py [paths...] [-o report.json]
+    PYTHONPATH=src python tools/lint_report.py --cache /tmp/lint_cache.json
 
-The payload records, per rule, how many diagnostics fired and in how
-many distinct files, plus the scanned-file count — a longitudinal
-signal for how clean the tree stays as it grows.
+The v2 payload runs the whole-program analyzer (per-file rules plus the
+flow rules) and records, per rule, how many diagnostics fired and in
+how many distinct files, plus the scanned-file count, the cache hit
+rate and the analysis wall time — a longitudinal signal for how clean
+the tree stays and how fast the analyzer keeps up as it grows.
 """
 
 from __future__ import annotations
@@ -21,33 +24,72 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.lint import Linter, load_config  # noqa: E402
+from repro.lint import ProjectAnalyzer, load_config  # noqa: E402
+from repro.lint.flow_rules import PROJECT_RULES  # noqa: E402
 from repro.lint.reporting import summarize  # noqa: E402
 from repro.lint.rules import DEFAULT_RULES  # noqa: E402
 from repro.utils.atomic_io import atomic_write_text  # noqa: E402
 
+SCHEMA = "repro-lint-report/v2"
 
-def build_report(paths: list[str]) -> dict:
+
+def build_report(paths: list[str], cache: Path | None, jobs: int) -> dict:
     config = load_config(REPO_ROOT)
-    linter = Linter(config=config)
-    files = list(linter.iter_files(paths))
-    violations = linter.lint_paths(paths)
+    analyzer = ProjectAnalyzer(config=config, cache_path=cache, jobs=jobs)
+    result = analyzer.analyze(paths)
+    violations = result.violations
     files_by_rule: dict[str, set] = defaultdict(set)
     for violation in violations:
         files_by_rule[violation.rule].add(violation.path)
+
+    def _entry(name: str, severity: str, kind: str) -> dict:
+        return {
+            "name": name,
+            "kind": kind,
+            "hits": sum(1 for v in violations if v.rule == name),
+            "files": len(files_by_rule.get(name, ())),
+            "severity": severity,
+        }
+
+    rules = [
+        _entry(
+            rule.name,
+            config.rule_settings(
+                rule.name, rule.default_severity, rule.default_paths
+            ).severity,
+            "file",
+        )
+        for rule in DEFAULT_RULES
+    ]
+    rules.extend(
+        _entry(
+            rule.name,
+            config.rule_settings(
+                rule.name, rule.default_severity, rule.default_paths
+            ).severity,
+            "project",
+        )
+        for rule in PROJECT_RULES
+    )
+    stats = result.stats
+    lookups = stats["cache_hits"] + stats["cache_misses"]
     return {
+        "schema": SCHEMA,
         "paths": paths,
-        "files_scanned": len(files),
-        "rules": [
-            {
-                "name": rule.name,
-                "hits": sum(1 for v in violations if v.rule == rule.name),
-                "files": len(files_by_rule.get(rule.name, ())),
-                "severity": linter.settings_for(rule).severity,
-            }
-            for rule in DEFAULT_RULES
-        ],
+        "files_scanned": stats["files"],
+        "rules": rules,
         "summary": summarize(violations),
+        "analysis": {
+            "jobs": stats["jobs"],
+            "wall_time_s": stats["wall_time_s"],
+            "cache_hits": stats["cache_hits"],
+            "cache_misses": stats["cache_misses"],
+            "cache_hit_rate": (
+                stats["cache_hits"] / lookups if lookups else 0.0
+            ),
+            "flow_reused": stats["flow_reused"],
+            "phase2_ran": stats["phase2_ran"],
+        },
     }
 
 
@@ -60,8 +102,16 @@ def main(argv: list[str] | None = None) -> int:
         "-o", "--output", type=Path, default=None,
         help="write the JSON here instead of stdout",
     )
+    parser.add_argument(
+        "--cache", type=Path, default=None,
+        help="incremental analysis cache (reported in the hit rate)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2,
+        help="parallel workers for the per-file phase (default: 2)",
+    )
     args = parser.parse_args(argv)
-    report = build_report(list(args.paths))
+    report = build_report(list(args.paths), args.cache, args.jobs)
     text = json.dumps(report, indent=2, sort_keys=True)
     if args.output:
         atomic_write_text(args.output, text + "\n")
