@@ -10,14 +10,17 @@ ordered decide/aggregate reduction) under each execution backend of
   steps; an upper bound on per-task engine overhead).
 
 ``run_timing`` returns a JSON-ready payload recording, per backend,
-wall-clock sec/round, clients/sec and the speedup over serial, plus a
-history digest proving the backends produced bitwise-identical runs.
+wall-clock sec/round (the **median** over per-round samples, which are
+also recorded — one scheduler hiccup must not move the regression
+gate), clients/sec and the speedup over serial, plus a history digest
+proving the backends produced bitwise-identical runs.
 ``tools/bench_timing.py`` writes it to ``BENCH_timing.json`` at the
 repo root and ``tools/bench_compare.py`` diffs two such baselines.
 
 A micro section times the ``im2col`` unfold with and without a trailing
 ``np.ascontiguousarray`` — the measurement behind dropping that call
-(see :func:`repro.nn.layers.conv.im2col`) — and the checkpoint
+(see :func:`repro.nn.layers.conv.im2col`) — the stacked-vs-looped
+kernels behind the ``batched`` backend, and the checkpoint
 save/restore path of :mod:`repro.ckpt` (sec per save, bytes on disk).
 """
 
@@ -61,6 +64,7 @@ __all__ = [
     "make_linear_timing_trainer",
     "run_timing",
     "time_backend",
+    "time_batched_kernels",
     "time_checkpoint",
     "time_im2col",
     "time_lint",
@@ -157,6 +161,9 @@ def time_backend(
 
     ``warmup`` untimed rounds absorb one-time costs (worker-pool
     startup, replica builds) so sec/round reflects the steady state.
+    Rounds are timed individually; ``sec_per_round`` is the median of
+    the per-round samples (all recorded in the payload), so a single
+    noisy round cannot flip the throughput regression gate.
     """
     if workload not in TIMING_WORKLOADS:
         raise ValueError(
@@ -169,13 +176,18 @@ def time_backend(
     try:
         if warmup > 0:
             trainer.run(warmup)
-        start = perf_counter()
-        trainer.run(rounds)
-        elapsed = perf_counter() - start
+        # Time each round on its own and report the **median**: one
+        # scheduler hiccup or GC pause then skews a single sample, not
+        # the headline number the regression gate compares.
+        samples = []
+        for _ in range(rounds):
+            start = perf_counter()
+            trainer.run(1)
+            samples.append(perf_counter() - start)
         digest = history_digest(trainer)
     finally:
         trainer.close()
-    sec_per_round = elapsed / rounds
+    sec_per_round = float(np.median(samples))
     n_clients = len(trainer.clients)
     return {
         "backend": backend,
@@ -184,6 +196,7 @@ def time_backend(
         "n_clients": n_clients,
         "n_params": trainer.workspace.n_params,
         "sec_per_round": sec_per_round,
+        "sec_per_round_samples": samples,
         "clients_per_sec": n_clients / sec_per_round,
         "history_digest": digest,
     }
@@ -229,6 +242,79 @@ def time_im2col(reps: int = 200) -> Dict[str, object]:
         "ascontiguousarray_ms": timings["ascontiguousarray"],
         "result_is_contiguous": bool(cols.flags["C_CONTIGUOUS"]),
         "kept": "strided_view",
+    }
+
+
+def time_batched_kernels(
+    reps: int = 50, n_clients: int = 30
+) -> Dict[str, object]:
+    """Stacked vs per-client-looped kernels behind the batched backend.
+
+    Measures the two compute shapes the ``batched`` executor vectorizes
+    at digits-CNN bench scale: the dense GEMM as one 3-D ``np.matmul``
+    over a leading client axis vs a Python loop of 2-D GEMMs, and the
+    convolution unfold as one folded ``im2col`` over ``C * batch``
+    images vs ``C`` per-client calls.  Also asserts the stacked results
+    equal the looped ones bitwise — the micro-scale version of the
+    backend's digest guarantee.
+    """
+    rng = np.random.default_rng(_TIMING_SEED)
+    # Dense GEMM at roughly the digits-CNN head shape.
+    x = rng.normal(size=(n_clients, 32, 128))
+    w = rng.normal(size=(n_clients, 128, 64))
+    # First-conv unfold shape per client.
+    imgs = rng.normal(size=(n_clients, 8, 4, 20, 20))
+    kh = kw = 5
+
+    def _gemm_looped():
+        return np.stack([x[c] @ w[c] for c in range(n_clients)])
+
+    def _gemm_stacked():
+        return np.matmul(x, w)
+
+    def _im2col_looped():
+        return [im2col(imgs[c], kh, kw, 1)[0] for c in range(n_clients)]
+
+    def _im2col_folded():
+        folded = imgs.reshape((-1,) + imgs.shape[2:])
+        return im2col(folded, kh, kw, 1)[0]
+
+    variants = (
+        ("gemm_looped", _gemm_looped),
+        ("gemm_stacked", _gemm_stacked),
+        ("im2col_looped", _im2col_looped),
+        ("im2col_folded", _im2col_folded),
+    )
+    totals = {name: 0.0 for name, _ in variants}
+    for _, fn in variants:
+        fn()  # warm the allocator
+    # Interleave so cache/CPU state biases no variant.
+    for _ in range(reps):
+        for name, fn in variants:
+            start = perf_counter()
+            fn()
+            totals[name] += perf_counter() - start
+    ms = {name: totals[name] / reps * 1e3 for name in totals}
+    gemm_equal = np.array_equal(_gemm_looped(), _gemm_stacked())
+    cols_folded = _im2col_folded()
+    n_per = imgs.shape[1]
+    cols_equal = all(
+        np.array_equal(cols_c, cols_folded[c * n_per:(c + 1) * n_per])
+        for c, cols_c in enumerate(_im2col_looped())
+    )
+    return {
+        "n_clients": n_clients,
+        "reps": reps,
+        "gemm_shape": [list(x.shape), list(w.shape)],
+        "gemm_looped_ms": ms["gemm_looped"],
+        "gemm_stacked_ms": ms["gemm_stacked"],
+        "gemm_speedup": ms["gemm_looped"] / ms["gemm_stacked"],
+        "gemm_bitwise_equal": bool(gemm_equal),
+        "im2col_shape": list(imgs.shape),
+        "im2col_looped_ms": ms["im2col_looped"],
+        "im2col_folded_ms": ms["im2col_folded"],
+        "im2col_speedup": ms["im2col_looped"] / ms["im2col_folded"],
+        "im2col_bitwise_equal": bool(cols_equal),
     }
 
 
@@ -333,6 +419,7 @@ def run_timing(
         "workloads": {},
         "micro": {
             "im2col": time_im2col(),
+            "batched_kernels": time_batched_kernels(),
             "checkpoint": time_checkpoint(),
             "lint": time_lint(),
         },
@@ -389,6 +476,17 @@ def format_report(payload: Dict[str, object]) -> str:
         f"ascontiguousarray {micro['ascontiguousarray_ms']:.3f} ms "
         f"-> kept {micro['kept']}",
     ]
+    bk = payload["micro"].get("batched_kernels")
+    if bk:
+        lines.append(
+            f"batched kernels ({bk['n_clients']} clients): "
+            f"gemm looped {bk['gemm_looped_ms']:.3f} ms vs "
+            f"stacked {bk['gemm_stacked_ms']:.3f} ms "
+            f"({bk['gemm_speedup']:.1f}x), "
+            f"im2col looped {bk['im2col_looped_ms']:.3f} ms vs "
+            f"folded {bk['im2col_folded_ms']:.3f} ms "
+            f"({bk['im2col_speedup']:.1f}x)"
+        )
     ckpt = payload["micro"].get("checkpoint")
     if ckpt:
         lines.append(

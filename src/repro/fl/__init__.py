@@ -10,8 +10,10 @@ from the run history.
 
 from repro.fl.config import EXECUTOR_BACKENDS, FLConfig
 from repro.fl.workspace import ModelWorkspace
+from repro.fl.batched import BatchedWorkspace
 from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.executor import (
+    BatchedExecutor,
     ClientExecutionError,
     ClientExecutor,
     ProcessExecutor,
@@ -34,11 +36,13 @@ __all__ = [
     "EXECUTOR_BACKENDS",
     "FLConfig",
     "ModelWorkspace",
+    "BatchedWorkspace",
     "ClientExecutionError",
     "ClientExecutor",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "BatchedExecutor",
     "RoundPlan",
     "WorkspaceSpec",
     "make_executor",

@@ -66,6 +66,22 @@ class FLClient:
         else:
             self._rng.bit_generator.state = state
 
+    def epoch_order(self) -> np.ndarray:
+        """Draw one epoch's sample permutation from this client's stream.
+
+        Exactly the single ``shuffle`` that ``Dataset.batches`` performs
+        per epoch, exposed so the batched executor can drive per-client
+        minibatch order while computing many clients jointly.  Local
+        training consumes no other client randomness, so drawing all E
+        epoch permutations up front leaves the stream in the same state
+        as E serial epoch iterations — the client object stays the
+        single source of RNG truth, the same invariant the process
+        executor maintains by round-tripping :meth:`rng_state`.
+        """
+        order = np.arange(self.n_samples)
+        self._rng.shuffle(order)
+        return order
+
     def compute_update(
         self,
         workspace: ModelWorkspace,
@@ -78,6 +94,14 @@ class FLClient:
 
         The workspace is loaded with the global model first, so calling
         this for many clients from a single shared workspace is safe.
+
+        ``train_loss`` is the **flat mean over all E x B batch losses**
+        — epochs and batches weighted equally, including the ragged
+        final batch of each epoch (whose loss is already a mean over
+        fewer samples).  This reduction is part of the cross-backend
+        contract: the batched executor reproduces exactly the same
+        per-client list of batch-loss floats and the same ``np.mean``
+        over it, so loss histories digest-match bit for bit.
         """
         if lr <= 0:
             raise ValueError("lr must be positive")

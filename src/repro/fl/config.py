@@ -13,9 +13,12 @@ __all__ = ["EMPTY_ROUND_MODES", "EXECUTOR_BACKENDS", "FLConfig"]
 #: "serial"  -- one shared workspace, clients run back to back;
 #: "thread"  -- a thread pool over replica workspaces;
 #: "process" -- a persistent worker-process pool with the broadcast
-#:              parameters in shared memory.
-#: All three produce bitwise-identical run histories.
-EXECUTOR_BACKENDS = ("serial", "thread", "process")
+#:              parameters in shared memory;
+#: "batched" -- same-schedule clients stacked into one leading client
+#:              axis, each round step one set of large numpy kernels
+#:              (see :mod:`repro.fl.batched`).
+#: All four produce bitwise-identical run histories.
+EXECUTOR_BACKENDS = ("serial", "thread", "process", "batched")
 
 #: What to do in a round where every update was filtered out.
 #: "keep"  -- leave the model unchanged and reuse the previous feedback

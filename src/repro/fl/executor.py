@@ -1,4 +1,4 @@
-"""The pluggable client-execution engine (serial / thread / process).
+"""The pluggable client-execution engine (serial / thread / process / batched).
 
 The paper ran CMFL on a 30-node EC2 cluster where every client trains
 concurrently; this module recovers that concurrency in-process.  The
@@ -22,6 +22,12 @@ picklable :class:`WorkspaceSpec` and reads the per-round broadcast
 parameter vector from POSIX shared memory, so the steady-state
 per-round IPC is one shared-memory write plus ``n_clients`` small task
 tuples and update vectors.
+
+The batched backend trades concurrency for vectorization: same-schedule
+clients are stacked into one leading client axis and the round's
+compute half runs as a handful of large numpy kernels through a
+:class:`~repro.fl.batched.BatchedWorkspace`, with a per-client fallback
+loop for stragglers and unsupported models.
 """
 
 from __future__ import annotations
@@ -38,12 +44,15 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.fl.batched import BatchedWorkspace
 from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.config import EXECUTOR_BACKENDS
 from repro.fl.workspace import ModelWorkspace
+from repro.nn.module import BatchedUnsupported
 from repro.obs import NULL_TRACER
 
 __all__ = [
+    "BatchedExecutor",
     "ClientExecutionError",
     "ClientExecutor",
     "ProcessExecutor",
@@ -244,6 +253,217 @@ class SerialExecutor(ClientExecutor):
             )
             results.append(update)
         return results
+
+
+class BatchedExecutor(ClientExecutor):
+    """Cross-client vectorized backend: cohorts run as stacked kernels.
+
+    Participants are grouped into *cohorts* by shard size — equal
+    ``n_samples`` means an identical epoch/batch schedule, so their
+    compute stacks into one leading client axis.  Each cohort of two or
+    more runs through a :class:`~repro.fl.batched.BatchedWorkspace`:
+    the round's compute half becomes a handful of large numpy ops
+    (stacked GEMMs, batched im2col/einsum) whose per-client slices are
+    bitwise equal to the serial path.  Singleton cohorts — and entire
+    federations whose model, loss or optimizer has no batched path —
+    fall back to the serial per-client loop on the bound workspace, so
+    heterogeneous stragglers never break a round.
+
+    Per-client minibatch order comes from each client's own RNG stream
+    via :meth:`~repro.fl.client.FLClient.epoch_order` — the in-process
+    equivalent of the process backend's RNG state round-trip: the
+    parent's client objects remain the single source of randomness
+    truth, and every backend consumes each stream identically.
+
+    Observability: ``client_compute`` spans are replayed in participant
+    order with ``rt`` timings from the batched kernel — a cohort's wall
+    time is attributed evenly across its members and the worker label
+    names the cohort (``batched-<size>``), while the deterministic
+    attrs stay identical to every other backend.
+    """
+
+    name = "batched"
+
+    def __init__(self) -> None:
+        self._workspace: Optional[ModelWorkspace] = None
+        #: One engine per cohort size, built lazily and kept across
+        #: rounds (cohort sizes repeat under full participation).
+        self._engines: Dict[int, BatchedWorkspace] = {}
+        self._unsupported: Optional[str] = None
+        self.tracer = NULL_TRACER
+
+    def bind(self, workspace, clients, spec=None, tracer=None) -> None:
+        del clients, spec
+        self._workspace = workspace
+        self._engines = {}  # stale stacks would read the old model's shapes
+        self._unsupported = None
+        self.tracer = tracer or NULL_TRACER
+
+    def _engine_for(self, size: int) -> Optional[BatchedWorkspace]:
+        """The cohort engine, or None when this model must fall back."""
+        if self._unsupported is not None:
+            return None
+        engine = self._engines.get(size)
+        if engine is None:
+            try:
+                engine = BatchedWorkspace(self._workspace, size)
+            except BatchedUnsupported as exc:
+                # Remember why so every later cohort skips the retry.
+                self._unsupported = str(exc)
+                self.tracer.metrics.counter(
+                    "runtime.executor.batched_fallbacks"
+                ).inc()
+                return None
+            self._engines[size] = engine
+        return engine
+
+    def run_round(self, plan, participants):
+        if self._workspace is None:
+            raise RuntimeError("executor not bound to a trainer")
+        tracer = self.tracer
+        _emit_broadcast_span(tracer, plan, rt={"shm": False})
+        round_start = monotonic()
+        # Cohorts keyed by shard size; indices keep participant order
+        # both within each cohort and for the final result alignment.
+        cohorts: Dict[int, List[int]] = {}
+        for idx, client in enumerate(participants):
+            cohorts.setdefault(client.n_samples, []).append(idx)
+        results: List[Optional[ClientUpdate]] = [None] * len(participants)
+        timings: List[Optional[Tuple[float, float, str]]] = [None] * len(
+            participants
+        )
+        # Probe batched support once with the largest multi-client
+        # cohort; on BatchedUnsupported every cohort must fall back.
+        multi_sizes = [len(ix) for ix in cohorts.values() if len(ix) > 1]
+        batchable = bool(multi_sizes) and (
+            self._engine_for(max(multi_sizes)) is not None
+        )
+        if not batchable:
+            # Full per-client fallback, in **participant order**: with
+            # a stateful optimizer the shared workspace's slot state
+            # makes client order observable, and participant order is
+            # the serial reference.  (The mixed path below never hits
+            # this: batched support implies a stateless plain SGD, so
+            # singleton stragglers can run interleaved with cohorts.)
+            for idx, client in enumerate(participants):
+                start = monotonic()
+                try:
+                    update = client.compute_update(
+                        self._workspace,
+                        plan.global_params,
+                        lr=plan.lr,
+                        local_epochs=plan.local_epochs,
+                        batch_size=plan.batch_size,
+                    )
+                except Exception as exc:
+                    raise _client_failure(
+                        exc, client, plan, self.name,
+                        monotonic() - round_start, tracer,
+                    ) from exc
+                results[idx] = update
+                timings[idx] = (0.0, monotonic() - start, "main")
+            for client, timing in zip(participants, timings):
+                _emit_task_span(tracer, plan, client, timing)
+            return results
+        for n_samples in sorted(cohorts):
+            indices = cohorts[n_samples]
+            engine = self._engine_for(len(indices)) if len(indices) > 1 else None
+            if engine is None:
+                # Straggler path: a singleton cohort running the
+                # serial reference on the bound workspace.
+                for idx in indices:
+                    client = participants[idx]
+                    start = monotonic()
+                    try:
+                        update = client.compute_update(
+                            self._workspace,
+                            plan.global_params,
+                            lr=plan.lr,
+                            local_epochs=plan.local_epochs,
+                            batch_size=plan.batch_size,
+                        )
+                    except Exception as exc:
+                        raise _client_failure(
+                            exc, client, plan, self.name,
+                            monotonic() - round_start, tracer,
+                        ) from exc
+                    results[idx] = update
+                    timings[idx] = (0.0, monotonic() - start, "main")
+                continue
+            cohort = [participants[idx] for idx in indices]
+            start = monotonic()
+            try:
+                updates = self._run_cohort(engine, plan, cohort, n_samples)
+            except Exception as exc:
+                raise _client_failure(
+                    exc, cohort[0], plan, self.name,
+                    monotonic() - round_start, tracer,
+                ) from exc
+            per_client = (monotonic() - start) / len(cohort)
+            worker = f"batched-{len(cohort)}"
+            for idx, update in zip(indices, updates):
+                results[idx] = update
+                timings[idx] = (0.0, per_client, worker)
+        for client, timing in zip(participants, timings):
+            _emit_task_span(tracer, plan, client, timing)
+        return results
+
+    @staticmethod
+    def _run_cohort(
+        engine: BatchedWorkspace,
+        plan: RoundPlan,
+        cohort: Sequence[FLClient],
+        n_samples: int,
+    ) -> List[ClientUpdate]:
+        """One cohort's E local epochs as stacked kernels."""
+        if plan.lr <= 0:
+            raise ValueError("lr must be positive")
+        engine.load_global(plan.global_params)
+        # Each client draws its E epoch permutations from its own
+        # stream — exactly the draws Dataset.batches would make
+        # serially; training consumes no other client randomness, so
+        # the streams end the round in the identical state.
+        orders = [
+            [client.epoch_order() for _ in range(plan.local_epochs)]
+            for client in cohort
+        ]
+        losses: List[List[float]] = [[] for _ in cohort]
+        for epoch in range(plan.local_epochs):
+            # One stacked gather of the whole permuted epoch per
+            # client; per-step minibatches are then plain slices whose
+            # per-client slabs are contiguous — the same memory layout
+            # Dataset.batches hands the serial path.
+            x_epoch = np.stack(
+                [
+                    client.train_data.x[orders[ci][epoch]]
+                    for ci, client in enumerate(cohort)
+                ]
+            )
+            y_epoch = np.stack(
+                [
+                    client.train_data.y[orders[ci][epoch]]
+                    for ci, client in enumerate(cohort)
+                ]
+            )
+            for start in range(0, n_samples, plan.batch_size):
+                sl = slice(start, start + plan.batch_size)
+                batch_losses = engine.train_step_all(
+                    x_epoch[:, sl], y_epoch[:, sl], plan.lr
+                )
+                for ci in range(len(cohort)):
+                    losses[ci].append(float(batch_losses[ci]))
+        stacked = engine.extract_updates(plan.global_params)
+        return [
+            ClientUpdate(
+                client_id=client.client_id,
+                update=stacked[ci].copy(),
+                n_samples=client.n_samples,
+                # The same flat mean over all E x B batch losses the
+                # serial client computes (see FLClient.compute_update).
+                train_loss=float(np.mean(losses[ci])),
+            )
+            for ci, client in enumerate(cohort)
+        ]
 
 
 class ThreadExecutor(ClientExecutor):
@@ -653,6 +873,9 @@ def make_executor(
         return ThreadExecutor(n_workers)
     if backend == "process":
         return ProcessExecutor(n_workers, mp_method=mp_method)
+    if backend == "batched":
+        # In-process and cohort-stacked: worker knobs do not apply.
+        return BatchedExecutor()
     raise ValueError(
         f"unknown executor backend {backend!r}; choices: {EXECUTOR_BACKENDS}"
     )

@@ -56,11 +56,17 @@ class ModelWorkspace:
         assign_flat_parameters(self.model, flat)
 
     def train_step(self, x: np.ndarray, y: np.ndarray, lr: float) -> float:
-        """One SGD step on a minibatch; returns the batch loss."""
+        """One SGD step on a minibatch; returns the batch loss.
+
+        Uses ``head_backward``: the model's input gradient is dead
+        work here, so head layers that support it skip computing it
+        (parameter gradients — and therefore the step — are
+        bitwise-unchanged).
+        """
         self.model.zero_grad()
         out = self.model.forward(x, training=True)
         loss_value = self.loss.forward(out, y)
-        self.model.backward(self.loss.backward())
+        self.model.head_backward(self.loss.backward())
         self.optimizer.step(lr=lr)
         return loss_value
 

@@ -18,7 +18,14 @@ All gradients are verified against finite differences in the test suite
 """
 
 from repro.nn.parameter import Parameter
-from repro.nn.module import Module, Sequential
+from repro.nn.module import (
+    BatchedModule,
+    BatchedParamBinder,
+    BatchedSequential,
+    BatchedUnsupported,
+    Module,
+    Sequential,
+)
 from repro.nn.activations import ReLU, Sigmoid, Tanh
 from repro.nn.layers.dense import Dense
 from repro.nn.layers.conv import Conv2D, MaxPool2D
@@ -27,6 +34,7 @@ from repro.nn.layers.embedding import Embedding
 from repro.nn.layers.dropout import Dropout
 from repro.nn.layers.reshape import Flatten
 from repro.nn.losses import (
+    BatchedLoss,
     Loss,
     MeanSquaredError,
     SigmoidBinaryCrossEntropy,
@@ -46,6 +54,11 @@ __all__ = [
     "Parameter",
     "Module",
     "Sequential",
+    "BatchedModule",
+    "BatchedParamBinder",
+    "BatchedSequential",
+    "BatchedUnsupported",
+    "BatchedLoss",
     "ReLU",
     "Sigmoid",
     "Tanh",

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.module import Module
+from repro.nn.module import BatchedParamBinder, BatchedStateless, Module
 
 __all__ = ["ReLU", "Sigmoid", "Tanh", "sigmoid", "softmax"]
 
@@ -35,12 +35,18 @@ class ReLU(Module):
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         del training
         self._mask = x > 0
-        return np.where(self._mask, x, 0.0)
+        # maximum(x, 0.0) selects exactly what where(mask, x, 0.0)
+        # would (+0.0 for every non-positive input) in one pass.
+        return np.maximum(x, 0.0)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
         return np.where(self._mask, grad_output, 0.0)
+
+    def batched(self, binder: BatchedParamBinder) -> BatchedStateless:
+        del binder  # parameter-free
+        return BatchedStateless(ReLU())
 
 
 class Sigmoid(Module):
@@ -59,6 +65,10 @@ class Sigmoid(Module):
             raise RuntimeError("backward called before forward")
         return grad_output * self._out * (1.0 - self._out)
 
+    def batched(self, binder: BatchedParamBinder) -> BatchedStateless:
+        del binder  # parameter-free
+        return BatchedStateless(Sigmoid())
+
 
 class Tanh(Module):
     """Hyperbolic tangent activation."""
@@ -75,3 +85,7 @@ class Tanh(Module):
         if self._out is None:
             raise RuntimeError("backward called before forward")
         return grad_output * (1.0 - self._out**2)
+
+    def batched(self, binder: BatchedParamBinder) -> BatchedStateless:
+        del binder  # parameter-free
+        return BatchedStateless(Tanh())

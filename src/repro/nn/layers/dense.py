@@ -7,11 +7,11 @@ from typing import List
 import numpy as np
 
 from repro.nn.initializers import get_initializer
-from repro.nn.module import Module
+from repro.nn.module import BatchedModule, BatchedParamBinder, Module
 from repro.nn.parameter import Parameter
 from repro.utils.rng import RngLike
 
-__all__ = ["Dense"]
+__all__ = ["BatchedDense", "Dense"]
 
 
 class Dense(Module):
@@ -66,3 +66,68 @@ class Dense(Module):
         if self.bias is not None:
             self.bias.grad += grad_output.sum(axis=0)
         return grad_output @ self.weight.data.T
+
+    def head_backward(self, grad_output: np.ndarray) -> None:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.grad += self._x.T @ grad_output
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=0)
+        return None  # input gradient elided (see Module.head_backward)
+
+    def batched(self, binder: BatchedParamBinder) -> "BatchedDense":
+        return BatchedDense(self, binder)
+
+
+class BatchedDense(BatchedModule):
+    """Leading-client-axis counterpart of :class:`Dense`.
+
+    Takes ``(clients, batch, in)`` inputs against stacked weight views
+    ``(clients, in, out)``.  Every per-client slice of the stacked
+    operands has exactly the shape and strides of the serial operands,
+    so the 3-D ``matmul`` dispatches the identical per-slice GEMM and
+    each client's output/gradients are bitwise equal to the serial
+    layer run on that client's slice; the bias-gradient ``sum(axis=1)``
+    accumulates over the batch axis in the same element order as the
+    serial ``sum(axis=0)``.
+    """
+
+    def __init__(self, layer: Dense, binder: BatchedParamBinder) -> None:
+        self.in_features = layer.in_features
+        self.out_features = layer.out_features
+        self._w, self._dw = binder.bind(layer.weight)
+        if layer.bias is not None:
+            self._b, self._db = binder.bind(layer.bias)
+        else:
+            self._b = None
+            self._db = None
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        if x.ndim != 3 or x.shape[2] != self.in_features:
+            raise ValueError(
+                f"expected input (clients, batch, {self.in_features}), "
+                f"got {x.shape}"
+            )
+        self._x = x
+        out = x @ self._w
+        if self._b is not None:
+            out = out + self._b[:, None, :]
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self._dw += self._x.transpose(0, 2, 1) @ grad_output
+        if self._db is not None:
+            self._db += grad_output.sum(axis=1)
+        return grad_output @ self._w.transpose(0, 2, 1)
+
+    def head_backward(self, grad_output: np.ndarray) -> None:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self._dw += self._x.transpose(0, 2, 1) @ grad_output
+        if self._db is not None:
+            self._db += grad_output.sum(axis=1)
+        return None  # input gradient elided (see Module.head_backward)

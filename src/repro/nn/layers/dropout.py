@@ -4,10 +4,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.module import Module
+from repro.nn.module import BatchedModule, BatchedParamBinder, Module
 from repro.utils.rng import RngLike, ensure_rng
 
-__all__ = ["Dropout"]
+__all__ = ["BatchedDropout", "Dropout"]
 
 
 class Dropout(Module):
@@ -30,6 +30,40 @@ class Dropout(Module):
             return x
         keep = 1.0 - self.rate
         self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+    def batched(self, binder: BatchedParamBinder) -> "BatchedDropout":
+        del binder  # parameter-free
+        return BatchedDropout(self)
+
+
+class BatchedDropout(BatchedModule):
+    """Leading-client-axis counterpart of :class:`Dropout`.
+
+    Draws one stacked mask per step from the serial layer's own stream.
+    Dropout already places a model outside the cross-backend bitwise
+    contract — thread/process replicas each own an independent copy of
+    the layer stream — and the batched path is no different: the single
+    ``(C, ...)`` draw consumes the stream in a different order than C
+    serial per-client passes would.  Inference is the exact identity on
+    every backend.
+    """
+
+    def __init__(self, layer: Dropout) -> None:
+        self._layer = layer
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self._layer.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self._layer.rate
+        self._mask = (self._layer._rng.random(x.shape) < keep) / keep
         return x * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

@@ -7,11 +7,11 @@ from typing import List
 import numpy as np
 
 from repro.nn.initializers import normal
-from repro.nn.module import Module
+from repro.nn.module import BatchedModule, BatchedParamBinder, Module
 from repro.nn.parameter import Parameter
 from repro.utils.rng import RngLike
 
-__all__ = ["Embedding"]
+__all__ = ["BatchedEmbedding", "Embedding"]
 
 
 class Embedding(Module):
@@ -53,3 +53,64 @@ class Embedding(Module):
         # Token ids are not differentiable; return a zero placeholder of
         # the input's shape for API uniformity.
         return np.zeros(self._ids.shape, dtype=float)
+
+    def head_backward(self, grad_output: np.ndarray) -> None:
+        if self._ids is None:
+            raise RuntimeError("backward called before forward")
+        np.add.at(self.weight.grad, self._ids, grad_output)
+        return None  # zero placeholder elided (see Module.head_backward)
+
+    def batched(self, binder: BatchedParamBinder) -> "BatchedEmbedding":
+        return BatchedEmbedding(self, binder)
+
+
+class BatchedEmbedding(BatchedModule):
+    """Leading-client-axis counterpart of :class:`Embedding`.
+
+    Gathers each client's token vectors from its own table row of the
+    stacked ``(C, vocab, dim)`` weight view; the scatter-add in
+    ``backward`` pairs a broadcast client index with the token ids, so
+    ``np.add.at`` iterates the ids in flat C order — per client the
+    identical in-order accumulation the serial layer performs, and
+    never across clients (distinct tables).
+    """
+
+    def __init__(self, layer: Embedding, binder: BatchedParamBinder) -> None:
+        self.vocab_size = layer.vocab_size
+        self.embedding_dim = layer.embedding_dim
+        self._w, self._dw = binder.bind(layer.weight)  # (C, vocab, dim)
+        self._ids: np.ndarray | None = None
+
+    def _client_index(self, ids: np.ndarray) -> np.ndarray:
+        shape = (-1,) + (1,) * (ids.ndim - 1)
+        return np.arange(self._w.shape[0]).reshape(shape)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        ids = np.asarray(x)
+        if not np.issubdtype(ids.dtype, np.integer):
+            raise TypeError(f"Embedding expects integer ids, got dtype {ids.dtype}")
+        if ids.ndim < 2 or ids.shape[0] != self._w.shape[0]:
+            raise ValueError(
+                f"expected ids (clients={self._w.shape[0]}, ...), got {ids.shape}"
+            )
+        if ids.min(initial=0) < 0 or ids.max(initial=0) >= self.vocab_size:
+            raise ValueError("token id out of range for vocabulary")
+        self._ids = ids
+        return self._w[self._client_index(ids), ids]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._ids is None:
+            raise RuntimeError("backward called before forward")
+        ids = self._ids
+        c_idx = np.broadcast_to(self._client_index(ids), ids.shape)
+        np.add.at(self._dw, (c_idx, ids), grad_output)
+        return np.zeros(ids.shape, dtype=float)
+
+    def head_backward(self, grad_output: np.ndarray) -> None:
+        if self._ids is None:
+            raise RuntimeError("backward called before forward")
+        ids = self._ids
+        c_idx = np.broadcast_to(self._client_index(ids), ids.shape)
+        np.add.at(self._dw, (c_idx, ids), grad_output)
+        return None  # zero placeholder elided (see Module.head_backward)

@@ -8,11 +8,11 @@ import numpy as np
 
 from repro.nn.activations import sigmoid
 from repro.nn.initializers import glorot_uniform, orthogonal
-from repro.nn.module import Module
+from repro.nn.module import BatchedModule, BatchedParamBinder, Module
 from repro.nn.parameter import Parameter
 from repro.utils.rng import RngLike, child_rngs
 
-__all__ = ["LSTM"]
+__all__ = ["BatchedLSTM", "LSTM"]
 
 
 class LSTM(Module):
@@ -130,5 +130,114 @@ class LSTM(Module):
 
             dx[:, step, :] = dz @ self.w_x.data.T
             dh_next = dz @ self.w_h.data.T
+            dc_next = dc * f
+        return dx
+
+    def batched(self, binder: BatchedParamBinder) -> "BatchedLSTM":
+        return BatchedLSTM(self, binder)
+
+
+class BatchedLSTM(BatchedModule):
+    """Leading-client-axis counterpart of :class:`LSTM`.
+
+    Inputs are ``(clients, batch, time, features)``.  The recurrence is
+    still stepped serially over time (it is inherently sequential), but
+    each step's four matmuls run once over the whole client stack
+    instead of once per client.  Per-client operand slices keep the
+    serial shapes and strides — including the strided
+    ``x[:, :, step, :]`` time slice, whose per-client layout matches
+    the serial ``x[:, step, :]`` — so every gate, state and gradient is
+    bitwise equal to the serial layer per client; the bias gradient
+    reduces with ``sum(axis=1)``, never across clients.
+    """
+
+    def __init__(self, layer: LSTM, binder: BatchedParamBinder) -> None:
+        self.input_size = layer.input_size
+        self.hidden_size = layer.hidden_size
+        self.return_sequences = layer.return_sequences
+        self._w_x, self._dw_x = binder.bind(layer.w_x)  # (C, in, 4h)
+        self._w_h, self._dw_h = binder.bind(layer.w_h)  # (C, h, 4h)
+        self._b, self._db = binder.bind(layer.bias)  # (C, 4h)
+        self._cache: dict | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        if x.ndim != 4 or x.shape[3] != self.input_size:
+            raise ValueError(
+                "expected input (clients, batch, time, "
+                f"{self.input_size}), got {x.shape}"
+            )
+        c, n, t, _ = x.shape
+        h = self.hidden_size
+        hs = np.zeros((t + 1, c, n, h), dtype=float)
+        cs = np.zeros((t + 1, c, n, h), dtype=float)
+        gates = np.zeros((t, c, n, 4 * h), dtype=float)
+        bias = self._b[:, None, :]
+        for step in range(t):
+            z = x[:, :, step, :] @ self._w_x + hs[step] @ self._w_h + bias
+            i = sigmoid(z[:, :, :h])
+            f = sigmoid(z[:, :, h : 2 * h])
+            g = np.tanh(z[:, :, 2 * h : 3 * h])
+            o = sigmoid(z[:, :, 3 * h :])
+            cs[step + 1] = f * cs[step] + i * g
+            hs[step + 1] = o * np.tanh(cs[step + 1])
+            gates[step] = np.concatenate([i, f, g, o], axis=2)
+        self._cache = {"x": x, "hs": hs, "cs": cs, "gates": gates}
+        if self.return_sequences:
+            return hs[1:].transpose(1, 2, 0, 3)
+        return hs[-1].copy()
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x = self._cache["x"]
+        hs = self._cache["hs"]
+        cs = self._cache["cs"]
+        gates = self._cache["gates"]
+        c, n, t, _ = x.shape
+        h = self.hidden_size
+
+        if self.return_sequences:
+            if grad_output.shape != (c, n, t, h):
+                raise ValueError(
+                    f"expected gradient shape {(c, n, t, h)}, got "
+                    f"{grad_output.shape}"
+                )
+            grad_h_seq = grad_output.transpose(2, 0, 1, 3)
+        else:
+            if grad_output.shape != (c, n, h):
+                raise ValueError(
+                    f"expected gradient shape {(c, n, h)}, got "
+                    f"{grad_output.shape}"
+                )
+            grad_h_seq = np.zeros((t, c, n, h), dtype=float)
+            grad_h_seq[-1] = grad_output
+
+        dx = np.zeros_like(x)
+        dh_next = np.zeros((c, n, h), dtype=float)
+        dc_next = np.zeros((c, n, h), dtype=float)
+        for step in range(t - 1, -1, -1):
+            i = gates[step][:, :, :h]
+            f = gates[step][:, :, h : 2 * h]
+            g = gates[step][:, :, 2 * h : 3 * h]
+            o = gates[step][:, :, 3 * h :]
+            cell = cs[step + 1]
+            tanh_c = np.tanh(cell)
+
+            dh = grad_h_seq[step] + dh_next
+            dc = dc_next + dh * o * (1.0 - tanh_c**2)
+
+            di = dc * g * i * (1.0 - i)
+            df = dc * cs[step] * f * (1.0 - f)
+            dg = dc * i * (1.0 - g**2)
+            do = dh * tanh_c * o * (1.0 - o)
+            dz = np.concatenate([di, df, dg, do], axis=2)
+
+            self._dw_x += x[:, :, step, :].transpose(0, 2, 1) @ dz
+            self._dw_h += hs[step].transpose(0, 2, 1) @ dz
+            self._db += dz.sum(axis=1)
+
+            dx[:, :, step, :] = dz @ self._w_x.transpose(0, 2, 1)
+            dh_next = dz @ self._w_h.transpose(0, 2, 1)
             dc_next = dc * f
         return dx

@@ -6,9 +6,9 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.nn.module import Module
+from repro.nn.module import BatchedModule, BatchedParamBinder, Module
 
-__all__ = ["Flatten", "LastStep"]
+__all__ = ["BatchedFlatten", "BatchedLastStep", "Flatten", "LastStep"]
 
 
 class Flatten(Module):
@@ -21,6 +21,30 @@ class Flatten(Module):
         del training
         self._in_shape = x.shape
         return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output.reshape(self._in_shape)
+
+    def batched(self, binder: BatchedParamBinder) -> "BatchedFlatten":
+        del binder  # parameter-free
+        return BatchedFlatten()
+
+
+class BatchedFlatten(BatchedModule):
+    """Counterpart of :class:`Flatten` keeping the leading client axis:
+    ``(C, N, ...) -> (C, N, prod(...))`` — pure data movement."""
+
+    def __init__(self) -> None:
+        self._in_shape: Tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        if x.ndim < 3:
+            raise ValueError(f"expected >= 3-D input, got shape {x.shape}")
+        self._in_shape = x.shape
+        return x.reshape(x.shape[0], x.shape[1], -1)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._in_shape is None:
@@ -46,4 +70,31 @@ class LastStep(Module):
             raise RuntimeError("backward called before forward")
         grad = np.zeros(self._in_shape, dtype=grad_output.dtype)
         grad[:, -1, :] = grad_output
+        return grad
+
+    def batched(self, binder: BatchedParamBinder) -> "BatchedLastStep":
+        del binder  # parameter-free
+        return BatchedLastStep()
+
+
+class BatchedLastStep(BatchedModule):
+    """Counterpart of :class:`LastStep` keeping the leading client axis:
+    selects ``x[:, :, -1, :]`` of a ``(C, batch, time, features)``
+    sequence — pure data movement."""
+
+    def __init__(self) -> None:
+        self._in_shape: Tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        del training
+        if x.ndim != 4:
+            raise ValueError(f"expected 4-D input, got shape {x.shape}")
+        self._in_shape = x.shape
+        return x[:, :, -1, :]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise RuntimeError("backward called before forward")
+        grad = np.zeros(self._in_shape, dtype=grad_output.dtype)
+        grad[:, :, -1, :] = grad_output
         return grad

@@ -11,8 +11,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.activations import sigmoid, softmax
+from repro.nn.module import BatchedUnsupported
 
 __all__ = [
+    "BatchedLoss",
+    "BatchedMeanSquaredError",
+    "BatchedSigmoidBinaryCrossEntropy",
+    "BatchedSoftmaxCrossEntropy",
     "Loss",
     "MeanSquaredError",
     "SigmoidBinaryCrossEntropy",
@@ -29,7 +34,44 @@ class Loss:
     def backward(self) -> np.ndarray:
         raise NotImplementedError
 
+    def batched(self) -> "BatchedLoss":
+        """Build this loss's batched-leading-axis counterpart.
+
+        Losses without one raise
+        :class:`~repro.nn.module.BatchedUnsupported`, which the batched
+        executor treats as "fall back to the per-client path".
+        """
+        raise BatchedUnsupported(
+            f"{type(self).__name__} has no batched counterpart"
+        )
+
     def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+
+class BatchedLoss:
+    """Per-client loss over stacked predictions.
+
+    ``forward`` takes ``(clients, batch, ...)`` predictions/targets and
+    returns a ``(clients,)`` float64 vector whose every entry is
+    bitwise equal to the serial loss on that client's slice — each
+    client's mean reduces over its own contiguous row, never across the
+    client axis.  ``backward`` returns the stacked prediction gradient,
+    scaled per client by that client's element count exactly as the
+    serial loss scales by ``targets.size``.
+    """
+
+    def forward(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
         return self.forward(predictions, targets)
 
 
@@ -67,6 +109,51 @@ class SoftmaxCrossEntropy(Loss):
         grad[np.arange(self._targets.size), self._targets] -= 1.0
         return grad / self._targets.size
 
+    def batched(self) -> "BatchedSoftmaxCrossEntropy":
+        return BatchedSoftmaxCrossEntropy()
+
+
+class BatchedSoftmaxCrossEntropy(BatchedLoss):
+    """Counterpart of :class:`SoftmaxCrossEntropy` over ``(C, batch,
+    classes)`` logits and ``(C, batch)`` integer targets."""
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    def forward(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        targets = np.asarray(targets)
+        if predictions.ndim != 3:
+            raise ValueError(
+                f"expected 3-D stacked logits, got shape {predictions.shape}"
+            )
+        if targets.shape != predictions.shape[:2]:
+            raise ValueError(
+                f"targets shape {targets.shape} does not match stacked "
+                f"batch {predictions.shape[:2]}"
+            )
+        if not np.issubdtype(targets.dtype, np.integer):
+            raise TypeError("SoftmaxCrossEntropy expects integer class targets")
+        self._probs = softmax(predictions, axis=2)
+        self._targets = targets
+        c, n = targets.shape
+        picked = self._probs[
+            np.arange(c)[:, None], np.arange(n)[None, :], targets
+        ]
+        return -np.mean(np.log(np.clip(picked, 1e-12, None)), axis=1)
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None:
+            raise RuntimeError("backward called before forward")
+        c, n = self._targets.shape
+        grad = self._probs.copy()
+        grad[
+            np.arange(c)[:, None], np.arange(n)[None, :], self._targets
+        ] -= 1.0
+        return grad / n
+
 
 class SigmoidBinaryCrossEntropy(Loss):
     """Binary cross-entropy over a single logit per example.
@@ -101,6 +188,48 @@ class SigmoidBinaryCrossEntropy(Loss):
         grad = (self._probs - self._targets) / self._targets.size
         return grad.reshape(self._shape)
 
+    def batched(self) -> "BatchedSigmoidBinaryCrossEntropy":
+        return BatchedSigmoidBinaryCrossEntropy()
+
+
+class BatchedSigmoidBinaryCrossEntropy(BatchedLoss):
+    """Counterpart of :class:`SigmoidBinaryCrossEntropy` over stacked
+    ``(C, batch)`` or ``(C, batch, 1)`` logits."""
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+        self._shape: tuple | None = None
+
+    def forward(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        if predictions.ndim < 2:
+            raise ValueError(
+                f"expected stacked logits with a leading client axis, got "
+                f"shape {predictions.shape}"
+            )
+        self._shape = predictions.shape
+        c = predictions.shape[0]
+        logits = predictions.reshape(c, -1)
+        targets = np.asarray(targets, dtype=float).reshape(c, -1)
+        if logits.shape != targets.shape:
+            raise ValueError(
+                f"predictions {predictions.shape} and targets do not align"
+            )
+        # Same stable BCE form as the serial loss, elementwise.
+        loss = np.log1p(np.exp(-np.abs(logits))) + np.maximum(logits, 0.0)
+        loss -= logits * targets
+        self._probs = sigmoid(logits)
+        self._targets = targets
+        return np.mean(loss, axis=1)
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None or self._shape is None:
+            raise RuntimeError("backward called before forward")
+        grad = (self._probs - self._targets) / self._targets.shape[1]
+        return grad.reshape(self._shape)
+
 
 class MeanSquaredError(Loss):
     """Mean of squared differences, averaged over every element."""
@@ -121,3 +250,36 @@ class MeanSquaredError(Loss):
         if self._diff is None:
             raise RuntimeError("backward called before forward")
         return 2.0 * self._diff / self._diff.size
+
+    def batched(self) -> "BatchedMeanSquaredError":
+        return BatchedMeanSquaredError()
+
+
+class BatchedMeanSquaredError(BatchedLoss):
+    """Counterpart of :class:`MeanSquaredError`: each client's loss is
+    the flat mean over its own ``(batch, ...)`` block."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        targets = np.asarray(targets, dtype=float)
+        if predictions.ndim < 2:
+            raise ValueError(
+                f"expected stacked predictions with a leading client axis, "
+                f"got shape {predictions.shape}"
+            )
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: {predictions.shape} vs {targets.shape}"
+            )
+        self._diff = predictions - targets
+        sq = self._diff**2
+        return np.mean(sq.reshape(sq.shape[0], -1), axis=1)
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff[0].size

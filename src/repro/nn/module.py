@@ -1,14 +1,165 @@
-"""Module base class and the ``Sequential`` container."""
+"""Module base class, the ``Sequential`` container, and the
+batched-leading-axis counterpart machinery.
+
+Serial modules process one client's minibatch at a time.  The batched
+executor backend (see :mod:`repro.fl.batched`) instead stacks C
+same-architecture clients into a leading client axis and runs each
+round step as a handful of large numpy ops.  The bridge is
+:meth:`Module.batched`: given a :class:`BatchedParamBinder` it returns
+a :class:`BatchedModule` whose ``forward``/``backward`` take
+``(C, batch, ...)`` tensors and whose parameters/gradients are strided
+views into one stacked ``(C, n_params)`` pair of flat vectors.
+
+The contract every batched counterpart must honour: for each client
+``c``, slicing its inputs/params out and running the serial layer must
+give **bitwise-identical** outputs and gradient accumulations — all
+reductions stay per-client (no cross-client sums), and every kernel is
+chosen so numpy performs the same per-element floating-point operation
+sequence as the serial path (stacked GEMMs loop the same BLAS call per
+slice; elementwise ops are stacking-invariant; reduction axes keep the
+same length and memory layout).  This is what lets the ``batched``
+executor produce run histories digest-identical to serial.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.nn.parameter import Parameter
 
-__all__ = ["Module", "Sequential"]
+__all__ = [
+    "BatchedModule",
+    "BatchedParamBinder",
+    "BatchedSequential",
+    "BatchedStateless",
+    "BatchedUnsupported",
+    "Module",
+    "Sequential",
+]
+
+
+class BatchedUnsupported(NotImplementedError):
+    """A module (or loss/optimizer) has no batched-leading-axis path.
+
+    The batched executor catches this at bind time and falls back to
+    the per-client compute path, so raising it is always safe.
+    """
+
+
+class BatchedParamBinder:
+    """Allocates stacked parameter/gradient views for batched modules.
+
+    Owns one ``(n_clients, n_params)`` float64 array pair — ``data``
+    (stacked flat parameters, row ``c`` is client ``c``'s flat vector
+    in :func:`repro.nn.serialization.flatten_parameters` order) and
+    ``grad`` (the matching stacked gradients).  ``bind`` hands each
+    parameter, **in ``Module.parameters()`` order**, a
+    ``(n_clients, *param_shape)`` view into each; because rows are
+    contiguous, every per-client slice of a bound view has exactly the
+    memory layout of the serial parameter array, which is what keeps
+    stacked GEMMs bitwise-identical per client.
+    """
+
+    def __init__(self, n_clients: int, n_params: int) -> None:
+        if n_clients < 1 or n_params < 0:
+            # n_params == 0 is legal: a parameter-free module stack.
+            raise ValueError(
+                "n_clients must be positive and n_params non-negative"
+            )
+        self.n_clients = n_clients
+        self.n_params = n_params
+        self.data = np.zeros((n_clients, n_params), dtype=float)
+        self.grad = np.zeros((n_clients, n_params), dtype=float)
+        self._offset = 0
+
+    def bind(self, param: Parameter) -> Tuple[np.ndarray, np.ndarray]:
+        """Stacked ``(data_view, grad_view)`` for ``param``; advances
+        the flat-vector cursor by ``param.size``."""
+        size = param.size
+        if self._offset + size > self.n_params:
+            raise ValueError(
+                f"binder overflow: parameter {param.name!r} ({size} values) "
+                f"does not fit at offset {self._offset} of {self.n_params}"
+            )
+        shape = (self.n_clients,) + param.data.shape
+        sl = slice(self._offset, self._offset + size)
+        data_view = self.data[:, sl].reshape(shape)
+        grad_view = self.grad[:, sl].reshape(shape)
+        # Splitting the contiguous per-row slice must stay a view; a
+        # silent copy would detach the module from the stacked vectors.
+        if data_view.base is None or grad_view.base is None:
+            raise RuntimeError(
+                f"stacked view for {param.name!r} materialised a copy"
+            )
+        self._offset += size
+        return data_view, grad_view
+
+    def finish(self) -> None:
+        """Assert every flat slot was bound (call after building)."""
+        if self._offset != self.n_params:
+            raise ValueError(
+                f"binder bound {self._offset} of {self.n_params} values; "
+                "batched layers must bind every parameter in "
+                "Module.parameters() order"
+            )
+
+
+class BatchedModule:
+    """Base class for batched-leading-axis module counterparts.
+
+    Mirrors the :class:`Module` contract with every tensor carrying a
+    leading client axis: ``forward`` takes ``(C, batch, ...)`` and
+    caches what ``backward`` needs; ``backward`` accumulates into the
+    stacked gradient views and returns the stacked input gradient.
+    """
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def head_backward(self, grad_output: np.ndarray) -> Optional[np.ndarray]:
+        """Network-head backward: same contract as
+        :meth:`Module.head_backward`, one leading client axis."""
+        return self.backward(grad_output)
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class BatchedStateless(BatchedModule):
+    """Batched adapter for parameter-free, stacking-invariant modules.
+
+    Wraps a **fresh** serial instance of an elementwise/shape-only
+    layer (ReLU, Sigmoid, Tanh) whose forward/backward already accept
+    arbitrary shapes and compute each element independently — running
+    it on ``(C, batch, ...)`` is bitwise-identical to running each
+    client slice separately.  A fresh instance is required so the
+    batched path never clobbers the serial workspace's forward caches.
+    """
+
+    def __init__(self, inner: Module) -> None:
+        if inner.parameters():
+            raise ValueError(
+                f"{type(inner).__name__} has parameters; it needs a real "
+                "batched counterpart, not the stateless adapter"
+            )
+        self._inner = inner
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self._inner.forward(x, training=training)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self._inner.backward(grad_output)
+
+    def __repr__(self) -> str:
+        return f"BatchedStateless({type(self._inner).__name__})"
 
 
 class Module:
@@ -73,6 +224,31 @@ class Module:
                 )
             p.data[...] = value
 
+    def batched(self, binder: BatchedParamBinder) -> BatchedModule:
+        """Build this module's batched-leading-axis counterpart.
+
+        Must call ``binder.bind`` once per parameter, in
+        :meth:`parameters` order.  Modules without a batched path raise
+        :class:`BatchedUnsupported`; the batched executor treats that
+        as "fall back to the per-client path".
+        """
+        raise BatchedUnsupported(
+            f"{type(self).__name__} has no batched counterpart"
+        )
+
+    def head_backward(self, grad_output: np.ndarray) -> Optional[np.ndarray]:
+        """Backward pass when this module is the network head.
+
+        The head (first) layer's *input* gradient is dead work — no
+        caller of a training step consumes it — so layers whose input
+        gradient is separable (Dense, Conv2D, Embedding) override this
+        to accumulate parameter gradients only and return None.
+        Parameter gradients are bitwise-unchanged, which is why the
+        trainer's histories are unaffected.  The default falls back to
+        the full :meth:`backward`.
+        """
+        return self.backward(grad_output)
+
     def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         return self.forward(x, training=training)
 
@@ -111,6 +287,49 @@ class Sequential(Module):
             grad = layer.backward(grad)
         return grad
 
+    def head_backward(self, grad_output: np.ndarray) -> Optional[np.ndarray]:
+        grad = grad_output
+        for layer in reversed(self.layers[1:]):
+            grad = layer.backward(grad)
+        return self.layers[0].head_backward(grad)
+
+    def batched(self, binder: BatchedParamBinder) -> "BatchedSequential":
+        return BatchedSequential(
+            [layer.batched(binder) for layer in self.layers]
+        )
+
     def __repr__(self) -> str:
         inner = ", ".join(type(l).__name__ for l in self.layers)
         return f"Sequential([{inner}])"
+
+
+class BatchedSequential(BatchedModule):
+    """Batched counterpart of :class:`Sequential`: same chain rule, one
+    leading client axis on every tensor."""
+
+    def __init__(self, layers: Iterable[BatchedModule]) -> None:
+        self.layers: List[BatchedModule] = list(layers)
+        if not self.layers:
+            raise ValueError("BatchedSequential requires at least one layer")
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def head_backward(self, grad_output: np.ndarray) -> Optional[np.ndarray]:
+        grad = grad_output
+        for layer in reversed(self.layers[1:]):
+            grad = layer.backward(grad)
+        return self.layers[0].head_backward(grad)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(type(l).__name__ for l in self.layers)
+        return f"BatchedSequential([{inner}])"

@@ -1,0 +1,277 @@
+"""The batched (stacked-client) nn substrate: every layer, loss and the
+parameter binder reproduce the serial path bit for bit per client slice.
+
+These are the unit-level guarantees under the executor-level digest
+tests: for each layer we stack C independent parameter vectors and C
+inputs, run one batched forward/backward, and demand bitwise equality
+with C separate serial runs — outputs, input gradients and accumulated
+parameter gradients alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchedParamBinder,
+    BatchedUnsupported,
+    Conv2D,
+    Dense,
+    Dropout,
+    Embedding,
+    Flatten,
+    LSTM,
+    MaxPool2D,
+    MeanSquaredError,
+    Module,
+    Momentum,
+    ReLU,
+    SGD,
+    Sequential,
+    Sigmoid,
+    SigmoidBinaryCrossEntropy,
+    SoftmaxCrossEntropy,
+    Tanh,
+)
+from repro.nn.layers.reshape import LastStep
+from repro.nn.serialization import (
+    assign_flat_parameters,
+    flatten_gradients,
+    flatten_parameters,
+    parameter_count,
+)
+
+C = 3  # stacked clients in every test
+
+
+def _check_layer(module_factory, x_stack, grad_from=None, training=True):
+    """Batched forward/backward over C stacked clients must be bitwise
+    equal to C serial runs with the same per-client parameters."""
+    ref = module_factory()
+    n_params = parameter_count(ref)
+    binder = BatchedParamBinder(C, n_params)
+    batched = ref.batched(binder)
+    binder.finish()
+    rng = np.random.default_rng(7)
+    if n_params:
+        binder.data[...] = rng.normal(size=binder.data.shape)
+    out = batched.forward(x_stack, training=training)
+    grad_out = (grad_from or rng.normal)(size=out.shape)
+    dx = batched.backward(grad_out)
+    for c in range(C):
+        serial = module_factory()
+        if n_params:
+            assign_flat_parameters(serial, binder.data[c].copy())
+        out_c = serial.forward(x_stack[c], training=training)
+        dx_c = serial.backward(np.ascontiguousarray(grad_out[c]))
+        np.testing.assert_array_equal(out[c], out_c, strict=True)
+        np.testing.assert_array_equal(dx[c], dx_c, strict=True)
+        if n_params:
+            np.testing.assert_array_equal(
+                binder.grad[c], flatten_gradients(serial), strict=True
+            )
+    return out
+
+
+class TestBatchedLayers:
+    def test_dense(self):
+        rng = np.random.default_rng(0)
+        _check_layer(
+            lambda: Dense(6, 4, rng=np.random.default_rng(1)),
+            rng.normal(size=(C, 9, 6)),
+        )
+
+    def test_conv2d_padded(self):
+        rng = np.random.default_rng(0)
+        _check_layer(
+            lambda: Conv2D(2, 3, kernel_size=3, padding=1,
+                           rng=np.random.default_rng(2)),
+            rng.normal(size=(C, 4, 2, 6, 6)),
+        )
+
+    def test_conv2d_unpadded_stride(self):
+        rng = np.random.default_rng(0)
+        _check_layer(
+            lambda: Conv2D(1, 2, kernel_size=3, stride=2,
+                           rng=np.random.default_rng(3)),
+            rng.normal(size=(C, 5, 1, 7, 7)),
+        )
+
+    def test_maxpool(self):
+        rng = np.random.default_rng(0)
+        _check_layer(lambda: MaxPool2D(2), rng.normal(size=(C, 4, 2, 6, 6)))
+
+    def test_lstm_last_hidden(self):
+        rng = np.random.default_rng(0)
+        _check_layer(
+            lambda: LSTM(4, 5, rng=np.random.default_rng(4)),
+            rng.normal(size=(C, 6, 7, 4)),
+        )
+
+    def test_lstm_return_sequences(self):
+        rng = np.random.default_rng(0)
+        _check_layer(
+            lambda: LSTM(3, 4, rng=np.random.default_rng(5),
+                         return_sequences=True),
+            rng.normal(size=(C, 5, 6, 3)),
+        )
+
+    def test_embedding(self):
+        ids = np.random.default_rng(0).integers(0, 11, size=(C, 5, 4))
+        _check_layer(
+            lambda: Embedding(11, 3, rng=np.random.default_rng(6)), ids
+        )
+
+    def test_flatten_and_laststep(self):
+        rng = np.random.default_rng(0)
+        _check_layer(lambda: Flatten(), rng.normal(size=(C, 4, 2, 3, 3)))
+        _check_layer(lambda: LastStep(), rng.normal(size=(C, 4, 5, 6)))
+
+    @pytest.mark.parametrize("act", [ReLU, Sigmoid, Tanh])
+    def test_activations(self, act):
+        rng = np.random.default_rng(0)
+        _check_layer(act, rng.normal(size=(C, 8, 5)))
+
+    def test_sequential_composes(self):
+        """A whole CNN stack composes the per-layer counterparts."""
+        rng = np.random.default_rng(0)
+        _check_layer(
+            lambda: Sequential([
+                Conv2D(1, 3, kernel_size=3, padding=1,
+                       rng=np.random.default_rng(8)),
+                ReLU(),
+                MaxPool2D(2),
+                Flatten(),
+                Dense(3 * 3 * 3, 4, rng=np.random.default_rng(9)),
+            ]),
+            rng.normal(size=(C, 5, 1, 6, 6)),
+        )
+
+    def test_dropout_inference_is_identity(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        batched = layer.batched(BatchedParamBinder(C, 0))
+        x = np.random.default_rng(1).normal(size=(C, 4, 5))
+        out = batched.forward(x, training=False)
+        np.testing.assert_array_equal(out, x, strict=True)
+        np.testing.assert_array_equal(
+            batched.backward(x), x, strict=True
+        )
+
+    def test_dropout_training_draws_from_layer_stream(self):
+        """Training-mode batched dropout consumes the wrapped layer's
+        own RNG stream (dropout sits outside the cross-backend bitwise
+        contract, but the stream ownership stays with the layer)."""
+        layer = Dropout(0.5, rng=np.random.default_rng(3))
+        batched = layer.batched(BatchedParamBinder(C, 0))
+        x = np.ones((C, 6, 8))
+        out = batched.forward(x, training=True)
+        kept = out != 0.0
+        assert 0 < kept.sum() < out.size
+        np.testing.assert_array_equal(out[kept], x[kept] / 0.5)
+
+
+class TestBatchedLosses:
+    def _check_loss(self, loss_factory, pred, target):
+        batched = loss_factory().batched()
+        vec = batched.forward(pred, target)
+        grad = batched.backward()
+        assert vec.shape == (C,)
+        for c in range(C):
+            serial = loss_factory()
+            assert vec[c] == serial.forward(
+                np.ascontiguousarray(pred[c]), target[c]
+            )
+            np.testing.assert_array_equal(
+                grad[c], serial.backward(), strict=True
+            )
+
+    def test_softmax_cross_entropy(self):
+        rng = np.random.default_rng(0)
+        self._check_loss(
+            SoftmaxCrossEntropy,
+            rng.normal(size=(C, 7, 4)),
+            rng.integers(0, 4, size=(C, 7)),
+        )
+
+    def test_sigmoid_bce(self):
+        rng = np.random.default_rng(0)
+        self._check_loss(
+            SigmoidBinaryCrossEntropy,
+            rng.normal(size=(C, 6, 1)),
+            rng.integers(0, 2, size=(C, 6)).astype(float),
+        )
+
+    def test_mse(self):
+        rng = np.random.default_rng(0)
+        self._check_loss(
+            MeanSquaredError,
+            rng.normal(size=(C, 5, 3)),
+            rng.normal(size=(C, 5, 3)),
+        )
+
+
+class TestBinderAndFallback:
+    def test_binder_views_alias_the_stack(self):
+        model = Dense(3, 2, rng=np.random.default_rng(0))
+        binder = BatchedParamBinder(C, parameter_count(model))
+        batched = model.batched(binder)
+        binder.finish()
+        binder.data[...] = 1.0
+        # The layer's bound weight is a view: writing through it lands
+        # in the flat stack the executor extracts updates from.
+        batched._w[1, 0, 0] = 5.0
+        assert binder.data[1, 0] == 5.0
+
+    def test_binder_finish_catches_underbinding(self):
+        binder = BatchedParamBinder(C, 10)
+        with pytest.raises(ValueError, match="bound 0 of 10"):
+            binder.finish()
+
+    def test_binder_rejects_overbinding(self):
+        model = Dense(3, 2, rng=np.random.default_rng(0))
+        binder = BatchedParamBinder(C, parameter_count(model) - 1)
+        with pytest.raises(ValueError, match="binder overflow"):
+            model.batched(binder)
+
+    def test_unbatchable_module_signals_fallback(self):
+        class Exotic(Module):
+            def forward(self, x, training=False):
+                return x
+
+            def backward(self, grad_output):
+                return grad_output
+
+        with pytest.raises(BatchedUnsupported, match="Exotic"):
+            Exotic().batched(BatchedParamBinder(C, 0))
+
+    def test_stateful_optimizer_signals_fallback(self):
+        from repro.fl.batched import BatchedWorkspace
+        from repro.fl.workspace import ModelWorkspace
+
+        model = Dense(3, 2, rng=np.random.default_rng(0))
+        workspace = ModelWorkspace(
+            model, MeanSquaredError(), Momentum(model.parameters(), 0.1)
+        )
+        with pytest.raises(BatchedUnsupported, match="Momentum"):
+            BatchedWorkspace(workspace, C)
+
+    def test_workspace_roundtrip_extracts_updates(self):
+        from repro.fl.batched import BatchedWorkspace
+        from repro.fl.workspace import ModelWorkspace
+
+        model = Dense(4, 2, rng=np.random.default_rng(0))
+        workspace = ModelWorkspace(
+            model, MeanSquaredError(), SGD(model.parameters(), 0.1)
+        )
+        engine = BatchedWorkspace(workspace, C)
+        flat = flatten_parameters(model)
+        engine.load_global(flat)
+        np.testing.assert_array_equal(
+            engine.params, np.broadcast_to(flat, (C, flat.size))
+        )
+        rng = np.random.default_rng(1)
+        engine.train_step_all(
+            rng.normal(size=(C, 5, 4)), rng.normal(size=(C, 5, 2)), 0.1
+        )
+        updates = engine.extract_updates(flat)
+        assert updates.shape == (C, flat.size)
+        assert not np.array_equal(updates, np.zeros_like(updates))

@@ -34,6 +34,7 @@ MATRIX = [
     ("serial", "sgd"),
     ("thread", "sgd"),
     ("process", "sgd"),
+    ("batched", "sgd"),
 ]
 
 

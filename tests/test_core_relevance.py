@@ -12,10 +12,14 @@ from repro.core.relevance import (
     sign_agreement_counts,
 )
 
+# Subnormals are excluded: multiplying one by a scale in (0, 1) can
+# underflow to exactly 0.0, flipping its sign class and (correctly)
+# changing the relevance — which would falsify scale invariance for a
+# reason that has nothing to do with Eq. (9).
 vectors = arrays(
     np.float64,
     st.integers(1, 64),
-    elements=st.floats(-100, 100, allow_nan=False),
+    elements=st.floats(-100, 100, allow_nan=False, allow_subnormal=False),
 )
 
 

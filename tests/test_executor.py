@@ -12,8 +12,10 @@ from repro.data.partition import iid_partition
 from repro.fl.client import FLClient
 from repro.fl.config import EXECUTOR_BACKENDS, FLConfig
 from repro.fl.executor import (
+    BatchedExecutor,
     ClientExecutionError,
     ProcessExecutor,
+    RoundPlan,
     SerialExecutor,
     ThreadExecutor,
     WorkspaceSpec,
@@ -25,7 +27,7 @@ from repro.fl.workspace import ModelWorkspace
 from repro.models.linear import make_logistic_regression
 from repro.nn.losses import SigmoidBinaryCrossEntropy
 from repro.nn.metrics import binary_accuracy
-from repro.nn.optimizers import SGD
+from repro.nn.optimizers import SGD, Momentum
 from repro.nn.schedules import ConstantLR
 from repro.nn.serialization import flatten_gradients, flatten_parameters
 from repro.utils.rng import child_rngs
@@ -36,6 +38,13 @@ class _ExplodingClient(FLClient):
 
     def compute_update(self, *args, **kwargs):
         raise RuntimeError("local optimiser exploded")
+
+
+class _ExplodingOrderClient(FLClient):
+    """Raises inside the batched cohort kernel (epoch permutation)."""
+
+    def epoch_order(self):
+        raise RuntimeError("shuffle exploded")
 
 
 def _make_workspace(rng):
@@ -112,6 +121,104 @@ class TestBackendEquivalence:
         pure.run(2)
         assert (mixed.server.global_params.tobytes()
                 == pure.server.global_params.tobytes())
+
+
+def _hetero_round(backend, client_cls=FLClient, optimizer_cls=SGD):
+    """One round over shards of mixed sizes: two 2-client cohorts plus
+    a singleton straggler on the batched backend."""
+    rngs = child_rngs(11, 8)
+    model = make_logistic_regression(5, rng=rngs[0])
+    workspace = ModelWorkspace(
+        model,
+        SigmoidBinaryCrossEntropy(),
+        optimizer_cls(model.parameters(), 0.3),
+        metric=binary_accuracy,
+    )
+    clients = []
+    for i, n in enumerate([20, 20, 13, 13, 7]):
+        x = rngs[1 + i].normal(size=(n, 5))
+        y = (x @ np.ones(5) > 0).astype(np.int64)
+        cls = client_cls if i == 0 else FLClient
+        clients.append(cls(i, Dataset(x, y), rng=np.random.default_rng(90 + i)))
+    executor = make_executor(backend)
+    executor.bind(workspace, clients)
+    plan = RoundPlan(iteration=1, lr=0.3, local_epochs=2, batch_size=8,
+                     global_params=workspace.get_flat())
+    try:
+        updates = executor.run_round(plan, clients)
+    finally:
+        executor.close()
+    return executor, updates
+
+
+class TestBatchedBackend:
+    """Batched-specific contracts: cohort formation, RNG stream
+    semantics, fallback paths and failure attribution."""
+
+    def test_mixed_batched_then_serial_matches_pure_serial(self):
+        """epoch_order leaves client streams exactly where serial
+        epochs would: a batched round then a serial round matches an
+        all-serial run bit for bit."""
+        mixed, _ = _federation(CMFLPolicy(ConstantThreshold(0.0)),
+                               backend="batched", rounds=2)
+        mixed.run(1)
+        mixed.executor.close()
+        mixed.executor = SerialExecutor()
+        mixed.executor.bind(mixed.workspace, mixed.clients)
+        mixed.run(1)
+
+        pure, _ = _federation(CMFLPolicy(ConstantThreshold(0.0)),
+                              backend="serial", rounds=2)
+        pure.run(2)
+        assert (mixed.server.global_params.tobytes()
+                == pure.server.global_params.tobytes())
+
+    def test_heterogeneous_shards_split_into_cohorts(self):
+        """Mixed shard sizes still match serial bitwise; only
+        multi-client cohorts get a stacked engine."""
+        _, serial = _hetero_round("serial")
+        executor, batched = _hetero_round("batched")
+        for a, b in zip(serial, batched):
+            assert a.client_id == b.client_id
+            assert a.train_loss == b.train_loss
+            np.testing.assert_array_equal(a.update, b.update, strict=True)
+        # Two 2-client cohorts share one engine; the singleton has none.
+        assert set(executor._engines) == {2}
+
+    def test_stateful_optimizer_falls_back_per_client(self):
+        """No batched path for Momentum: every client runs the serial
+        reference, results still bitwise-identical."""
+        _, serial = _hetero_round("serial", optimizer_cls=Momentum)
+        executor, batched = _hetero_round("batched", optimizer_cls=Momentum)
+        for a, b in zip(serial, batched):
+            assert a.train_loss == b.train_loss
+            np.testing.assert_array_equal(a.update, b.update, strict=True)
+        assert executor._engines == {}
+        assert "Momentum" in executor._unsupported
+
+    def test_cohort_failure_names_client(self):
+        with pytest.raises(ClientExecutionError, match="client 0") as exc:
+            _hetero_round("batched", client_cls=_ExplodingOrderClient)
+        assert exc.value.backend == "batched"
+        assert "shuffle exploded" in str(exc.value)
+
+    def test_fallback_failure_names_client(self):
+        trainer, _ = _federation(CMFLPolicy(ConstantThreshold(0.0)),
+                                 backend="batched")
+        with trainer:
+            # Shrinking client 2's shard makes it a singleton cohort,
+            # which runs through compute_update and explodes there.
+            shrunk = trainer.clients[2].train_data.subset(range(7))
+            trainer.clients[2] = _ExplodingClient(2, shrunk)
+            with pytest.raises(ClientExecutionError, match="client 2"):
+                trainer.run(1)
+
+    def test_rebind_drops_stale_engines(self):
+        executor, _ = _hetero_round("batched")
+        assert executor._engines
+        workspace = _make_workspace(np.random.default_rng(0))
+        executor.bind(workspace, [])
+        assert executor._engines == {}
 
 
 class TestCrashHandling:
@@ -201,6 +308,7 @@ class TestFactoryAndConfig:
         assert isinstance(make_executor("serial"), SerialExecutor)
         assert isinstance(make_executor("thread"), ThreadExecutor)
         assert isinstance(make_executor("process"), ProcessExecutor)
+        assert isinstance(make_executor("batched"), BatchedExecutor)
 
     def test_resolve_worker_count(self):
         assert resolve_worker_count(3) == 3

@@ -4,8 +4,12 @@
 Compares clients/sec per (workload, backend) between two
 ``BENCH_timing.json`` files written by ``tools/bench_timing.py`` and
 exits non-zero when any pair regressed by more than the threshold
-(default 20%).  Pairs present in only one file are reported but never
-fail the comparison.
+(default 20%).  Clients/sec derives from the **median** per-round
+sample (see :mod:`repro.experiments.timing`), so one noisy round in
+either baseline cannot flip the gate.  Pairs present in only one file
+are reported but never fail the comparison.  Two further one-sided
+gates run against the candidate: the lint warm-cache speedup and the
+batched backend's digits_cnn speedup + digest identity.
 
 Usage::
 
@@ -65,6 +69,67 @@ def compare(before, after, threshold):
     return lines, regressions
 
 
+def check_batched_speedup(before, after, min_speedup, workload="digits_cnn"):
+    """Gate the batched backend: fast enough AND bitwise-identical.
+
+    The throughput half is an **introduction gate**: when the BEFORE
+    baseline predates the batched backend (no batched entry), the
+    candidate's batched clients/sec must be at least ``min_speedup``
+    times the serial clients/sec of that pre-vectorization baseline —
+    the reference ROADMAP's "Nx serial clients/sec" target is defined
+    against.  The candidate's *own* serial entry is deliberately not
+    the reference: bitwise-identical digests force both backends
+    through the same kernels, so kernel work that speeds the batched
+    path speeds serial too and the same-file ratio (reported as
+    ``speedup_vs_serial``) structurally undersells the win.  Once a
+    baseline carries a batched entry the introduction proof is banked
+    and the ordinary drop gate guards batched throughput; this check
+    then only enforces digest identity.
+
+    Digest identity between the candidate's serial and batched runs is
+    enforced whenever both entries exist.  A candidate without a
+    batched entry (partial sweep) passes — only full candidate
+    baselines are gated.
+    """
+    backends = (
+        after.get("workloads", {}).get(workload, {}).get("backends", {})
+    )
+    serial, batched = backends.get("serial"), backends.get("batched")
+    if serial is None or batched is None:
+        return [
+            f"  {workload} serial/batched pair absent in AFTER (skipped)"
+        ], False
+    identical = batched["history_digest"] == serial["history_digest"]
+    digest_note = f"digests {'identical' if identical else 'DIFFER'}"
+    base_backends = (
+        before.get("workloads", {}).get(workload, {}).get("backends", {})
+    )
+    if "batched" in base_backends:
+        line = (
+            f"  {workload} batched already in BEFORE (drop gate guards "
+            f"throughput), {digest_note}"
+        )
+        failed = not identical
+        return [line + (" REGRESSION" if failed else " ok")], failed
+    base_serial = base_backends.get("serial")
+    if base_serial is None:
+        return [
+            f"  {workload} serial entry absent in BEFORE (skipped), "
+            f"{digest_note}"
+        ], not identical
+    speedup = float(batched["clients_per_sec"]) / float(
+        base_serial["clients_per_sec"]
+    )
+    line = (
+        f"  {workload} batched {float(batched['clients_per_sec']):.2f} "
+        f"clients/s = {speedup:.2f}x baseline serial "
+        f"(minimum {min_speedup:.1f}x; same-file ratio "
+        f"{float(batched['speedup_vs_serial']):.2f}x), {digest_note}"
+    )
+    failed = speedup < min_speedup or not identical
+    return [line + (" REGRESSION" if failed else " ok")], failed
+
+
 def check_lint_speedup(after, min_speedup):
     """Gate the whole-program lint warm-cache speedup.
 
@@ -99,6 +164,15 @@ def main(argv=None) -> int:
         help="minimum warm-cache speedup for the whole-program lint "
         "micro-benchmark (default: 3.0)",
     )
+    parser.add_argument(
+        "--min-batched-speedup",
+        type=float,
+        default=3.0,
+        help="minimum digits_cnn clients/sec of the batched backend "
+        "relative to the BEFORE baseline's serial entry when that "
+        "baseline predates the batched backend, with identical "
+        "history digests (default: 3.0)",
+    )
     args = parser.parse_args(argv)
     if not 0 <= args.threshold < 1:
         parser.error("--threshold must be in [0, 1)")
@@ -109,13 +183,22 @@ def main(argv=None) -> int:
     lint_lines, lint_failed = check_lint_speedup(
         after, args.min_lint_speedup
     )
+    batched_lines, batched_failed = check_batched_speedup(
+        before, after, args.min_batched_speedup
+    )
 
     print(f"throughput comparison (threshold {args.threshold:.0%} drop):")
     print("\n".join(lines))
     print("incremental lint cache:")
     print("\n".join(lint_lines))
-    if regressions or lint_failed:
-        failures = len(regressions) + (1 if lint_failed else 0)
+    print("batched backend:")
+    print("\n".join(batched_lines))
+    if regressions or lint_failed or batched_failed:
+        failures = (
+            len(regressions)
+            + (1 if lint_failed else 0)
+            + (1 if batched_failed else 0)
+        )
         print(
             f"\nFAIL: {failures} check(s) regressed beyond their threshold"
         )
