@@ -10,7 +10,10 @@ cover everything round ``t+1`` depends on:
 * the CMFL feedback state (the estimator's retained update history,
   which determines u_bar and the threshold context) and any mutable
   policy state;
-* every client's RNG stream position plus the sampler's RNG;
+* every client's RNG stream position plus the sampler's RNG — for a
+  store-backed federation, the materialized shard arrays of the
+  :class:`~repro.fl.store.ClientStateStore` instead (rows already hold
+  the encoded stream positions);
 * the communication ledger and the full :class:`RunHistory`;
 * the tracer continuation snapshot (sequence/id counters, open spans,
   metric values), so a resumed trace extends the original stream.
@@ -101,6 +104,16 @@ def capture_run_state(
         ),
         "executor": {"backend": trainer.executor.name},
     }
+    # Store-backed federations: the population lives in shard arrays,
+    # not client objects, so ``rng.clients`` above is empty and the
+    # shard state rides along as ``store/shard/<id>/<field>`` arrays.
+    # The store refuses to snapshot while round views are outstanding,
+    # which re-asserts the round-boundary contract for this mode.
+    if trainer.store is not None:
+        manifest["store"] = trainer.store.manifest()
+        for key, value in trainer.store.state_arrays().items():
+            arrays[f"store/{key}"] = value
+
     texts = {HISTORY_MEMBER: trainer.history.to_jsonl()}
     return manifest, arrays, texts
 
@@ -184,6 +197,26 @@ def _apply(trainer: Any, ckpt: Checkpoint, manifest: Dict[str, Any]) -> None:
         client.set_rng_state(manifest["rng"]["clients"][str(client.client_id)])
     trainer.sampler.load_state_dict(manifest["rng"]["sampler"])
     trainer.ledger.load_state_dict(manifest["ledger"])
+
+    store_manifest = manifest.get("store")
+    if (store_manifest is None) != (trainer.store is None):
+        raise ValueError(
+            "checkpoint is store-backed but the trainer is not"
+            if store_manifest is not None
+            else "trainer is store-backed but the checkpoint is not"
+        )
+    if store_manifest is not None:
+        # The store validates population/shard_size/seed/partition
+        # identity itself and rebuilds exactly the shards the snapshot
+        # had materialized.
+        trainer.store.load_state(
+            store_manifest,
+            {
+                key[len("store/") :]: array
+                for key, array in ckpt.arrays.items()
+                if key.startswith("store/")
+            },
+        )
 
     history = RunHistory.from_jsonl(ckpt.texts[HISTORY_MEMBER])
     if history.policy_name != trainer.policy.name:

@@ -27,9 +27,21 @@ from repro.fl.server import FLServer
 from repro.fl.aggregation import mean_aggregate, weighted_mean_aggregate
 from repro.fl.accounting import CommunicationLedger
 from repro.fl.history import RoundRecord, RunHistory
-from repro.fl.sampling import FullParticipation, UniformSampler, UnreliableParticipation
+from repro.fl.sampling import (
+    AvailabilitySampler,
+    FullParticipation,
+    UniformSampler,
+    UnreliableParticipation,
+)
 from repro.fl.privacy import GaussianMechanism, PrivatizedPolicy
 from repro.fl.secure import SecureAggregator
+from repro.fl.store import (
+    ClientStateStore,
+    CyclicPartition,
+    ExplicitPartition,
+    IndexedPartition,
+    StoreClient,
+)
 from repro.fl.trainer import FederatedTrainer
 
 __all__ = [
@@ -54,9 +66,15 @@ __all__ = [
     "CommunicationLedger",
     "RoundRecord",
     "RunHistory",
+    "AvailabilitySampler",
     "FullParticipation",
     "UniformSampler",
     "UnreliableParticipation",
+    "ClientStateStore",
+    "StoreClient",
+    "CyclicPartition",
+    "ExplicitPartition",
+    "IndexedPartition",
     "SecureAggregator",
     "GaussianMechanism",
     "PrivatizedPolicy",

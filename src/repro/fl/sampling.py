@@ -6,16 +6,27 @@ fraction C of clients per round, and devices drop out mid-round.  These
 samplers slot into :class:`~repro.fl.trainer.FederatedTrainer` to model
 both; CMFL is unchanged -- whoever participates still runs the
 relevance check before uploading.
+
+Samplers are **index-space**: :meth:`ClientSampler.select_indices`
+draws client indices from ``range(n_population)`` without ever
+materializing the pool, so the same sampler drives a 30-object client
+list and a million-row :class:`~repro.fl.store.ClientStateStore`
+(ROADMAP #2).  :meth:`ClientSampler.select` is a thin wrapper that
+indexes into an eager client list; both paths consume identical RNG
+draws, so digests are unchanged for existing workloads.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.fl.client import FLClient
 from repro.utils.rng import RngLike, ensure_rng, restore_generator
 
 __all__ = [
+    "AvailabilitySampler",
     "ClientSampler",
     "FullParticipation",
     "UniformSampler",
@@ -26,14 +37,25 @@ __all__ = [
 class ClientSampler:
     """Chooses which clients train in a given round.
 
+    Subclasses implement :meth:`select_indices` over the population
+    index space; :meth:`select` derives the object-list form from it.
     ``state_dict``/``load_state_dict`` persist whatever a sampler needs
     to keep its selection sequence going across a checkpoint/resume
     (the RNG state, for the random samplers); deterministic samplers
     carry nothing.
     """
 
-    def select(self, iteration: int, clients: Sequence[FLClient]) -> List[FLClient]:
+    def select_indices(self, iteration: int, n_population: int) -> np.ndarray:
+        """Indices of this round's cohort, drawn from ``range(n_population)``.
+
+        Cost must scale with the cohort, not the population: no
+        O(n_population) Python list building per round.
+        """
         raise NotImplementedError
+
+    def select(self, iteration: int, clients: Sequence[FLClient]) -> List[FLClient]:
+        indices = self.select_indices(iteration, len(clients))
+        return [clients[int(i)] for i in indices]
 
     def state_dict(self) -> Dict[str, Any]:
         return {}
@@ -49,25 +71,115 @@ class ClientSampler:
 class FullParticipation(ClientSampler):
     """Every client, every round (the paper's setting)."""
 
+    def select_indices(self, iteration: int, n_population: int) -> np.ndarray:
+        del iteration
+        return np.arange(n_population, dtype=np.int64)
+
     def select(self, iteration: int, clients: Sequence[FLClient]) -> List[FLClient]:
         del iteration
         return list(clients)
 
 
 class UniformSampler(ClientSampler):
-    """A uniformly random fraction C of clients per round (FedAvg's C)."""
+    """A uniformly random cohort per round: FedAvg's C, or a fixed count.
 
-    def __init__(self, fraction: float, rng: RngLike = None) -> None:
-        if not 0.0 < fraction <= 1.0:
+    Exactly one of ``fraction`` (cohort = round(C * population)) or
+    ``count`` (fixed cohort size, the cross-device setting where the
+    cohort does not scale with the pool) must be given.  The draw is
+    one index-space ``rng.choice`` without replacement — O(cohort),
+    independent of population size.
+    """
+
+    def __init__(
+        self,
+        fraction: Optional[float] = None,
+        rng: RngLike = None,
+        count: Optional[int] = None,
+    ) -> None:
+        if (fraction is None) == (count is None):
+            raise ValueError("give exactly one of fraction or count")
+        if fraction is not None and not 0.0 < fraction <= 1.0:
             raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if count is not None and count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
         self.fraction = fraction  # ckpt: transient — constructor constant
+        self.count = count  # ckpt: transient — constructor constant
         self._rng = ensure_rng(rng)
 
-    def select(self, iteration: int, clients: Sequence[FLClient]) -> List[FLClient]:
+    def cohort_size(self, n_population: int) -> int:
+        if self.count is not None:
+            if self.count > n_population:
+                raise ValueError(
+                    f"cohort count {self.count} exceeds population "
+                    f"{n_population}"
+                )
+            return self.count
+        return max(1, int(round(self.fraction * n_population)))
+
+    def select_indices(self, iteration: int, n_population: int) -> np.ndarray:
         del iteration
-        k = max(1, int(round(self.fraction * len(clients))))
-        idx = self._rng.choice(len(clients), size=k, replace=False)
-        return [clients[i] for i in sorted(idx)]
+        k = self.cohort_size(n_population)
+        idx = self._rng.choice(n_population, size=k, replace=False)
+        return np.sort(idx).astype(np.int64)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._rng = restore_generator(state["rng"])
+
+
+class AvailabilitySampler(ClientSampler):
+    """Cohorts drawn from a time-varying available slice of the pool.
+
+    Cross-device populations are never all online: availability follows
+    a diurnal cycle (Ribero & Vikalo 2020; Chen et al. 2020 assume the
+    same regime).  ``trace`` gives the available *fraction* of the
+    population per round, cycled; each round the available set is a
+    contiguous wrap-around window of the index space whose start is a
+    pure function of the iteration (deterministic, so resume cannot
+    shift it), and the cohort is a uniform draw from that window.
+    O(cohort) per round, like :class:`UniformSampler`.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        trace: Sequence[float],
+        rng: RngLike = None,
+    ) -> None:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if len(trace) == 0:
+            raise ValueError("availability trace must be non-empty")
+        for f in trace:
+            if not 0.0 < f <= 1.0:
+                raise ValueError(
+                    f"trace fractions must be in (0, 1], got {f}"
+                )
+        self.count = count  # ckpt: transient — constructor constant
+        self.trace = [float(f) for f in trace]  # ckpt: transient — constructor constant
+        self._rng = ensure_rng(rng)
+
+    def available(self, iteration: int, n_population: int) -> int:
+        """Size of round ``iteration``'s available window (>= count)."""
+        fraction = self.trace[(iteration - 1) % len(self.trace)]
+        return min(n_population, max(self.count, int(fraction * n_population)))
+
+    def select_indices(self, iteration: int, n_population: int) -> np.ndarray:
+        if self.count > n_population:
+            raise ValueError(
+                f"cohort count {self.count} exceeds population "
+                f"{n_population}"
+            )
+        avail = self.available(iteration, n_population)
+        # The window walks the index space one window per round, so
+        # every client is periodically available; purely a function of
+        # the iteration, never of RNG state.
+        start = ((iteration - 1) * avail) % n_population
+        picks = self._rng.choice(avail, size=self.count, replace=False)
+        indices = (start + np.sort(picks).astype(np.int64)) % n_population
+        return np.sort(indices)
 
     def state_dict(self) -> Dict[str, Any]:
         return {"rng": self._rng.bit_generator.state}
@@ -82,6 +194,9 @@ class UnreliableParticipation(ClientSampler):
     Models devices losing connectivity mid-round; at least one survivor
     is guaranteed (a fully dead round would deadlock a synchronous
     barrier, which real servers handle with timeouts we do not model).
+    The dropout draws are one vectorized ``rng.random`` over the base
+    cohort — bit-identical to the former per-client scalar draws, so
+    existing digests are unchanged.
     """
 
     def __init__(
@@ -98,14 +213,13 @@ class UnreliableParticipation(ClientSampler):
         self.drop_probability = drop_probability  # ckpt: transient — constructor constant
         self._rng = ensure_rng(rng)
 
-    def select(self, iteration: int, clients: Sequence[FLClient]) -> List[FLClient]:
-        selected = self.base.select(iteration, clients)
-        survivors = [
-            c for c in selected if self._rng.random() >= self.drop_probability
-        ]
-        if not survivors:
+    def select_indices(self, iteration: int, n_population: int) -> np.ndarray:
+        selected = self.base.select_indices(iteration, n_population)
+        draws = self._rng.random(len(selected))
+        survivors = selected[draws >= self.drop_probability]
+        if survivors.size == 0:
             keep = self._rng.integers(0, len(selected))
-            survivors = [selected[keep]]
+            survivors = selected[[keep]]
         return survivors
 
     def state_dict(self) -> Dict[str, Any]:

@@ -1,0 +1,627 @@
+"""Sharded, array-backed client-state store: the population model.
+
+The paper's cross-device regime has millions of enrolled devices of
+which only a tiny cohort participates per round.  Holding one live
+:class:`~repro.fl.client.FLClient` per enrolled device makes "pool
+size" the dominant cost; this module inverts that: the *population* is
+rows in contiguous numpy arrays, and Python objects exist only for the
+clients of the current round.
+
+Layout.  A population of P clients is split into fixed-size shards of
+``shard_size`` rows.  Each shard owns three (optionally four) arrays,
+allocated lazily the first time any of its clients is touched:
+
+* ``rng``   — ``uint64 (rows, 6)``: the PCG64 counter state of each
+  client's stream (state hi/lo, increment hi/lo, ``has_uint32``,
+  ``uinteger``), exactly the fields of ``Generator.bit_generator
+  .state`` — so a row round-trips a stream bitwise;
+* ``live``  — ``bool (rows,)``: whether the row holds a captured
+  stream; a dead row's stream is defined by the seed scheme below, so
+  untouched clients cost nothing and touch order cannot matter;
+* ``stats`` — ``int64 (rows, 3)``: participations, uploads, last
+  participation round;
+* ``feedback`` — ``uint8 (rows, packed_sign_nbytes(n_params))``: the
+  packed sign bit-planes (:func:`repro.core.feedback.pack_signs`) of
+  the global-update feedback each client last trained against — 2 bits
+  per parameter instead of a float64 vector per client.
+
+Fresh streams are a pure function of ``(seed, client_index)`` via
+``SeedSequence``, never of when a client first participates: two runs
+that touch different shards in different orders still agree on every
+stream.
+
+Laziness contract.  :meth:`ClientStateStore.checkout` materializes
+:class:`StoreClient` views (real ``FLClient`` subclasses — every
+executor backend accepts them unchanged) for exactly the requested
+indices; :meth:`ClientStateStore.writeback` captures the advanced RNG
+streams into the shard rows and releases the views.  Between a
+checkout and its writeback the store refuses to snapshot
+(:meth:`state_arrays` raises): shard arrays are only consistent at
+round boundaries, the same place checkpoints are legal.  Shard arrays
+are **coordinator-owned** state — worker-reachable code must never
+write them (enforced by the ``shared-state-race`` flow rule's store
+boundary; see DESIGN.md §6f).
+
+Data stays shared: a :class:`DataPartition` maps a client index to its
+shard of a common dataset.  :class:`CyclicPartition` is O(1) state per
+population (contiguous wrap-around slices — views, not copies);
+:class:`IndexedPartition` compacts explicit per-client index lists
+into one contiguous index array; :class:`ExplicitPartition` adopts
+prebuilt datasets (the :meth:`ClientStateStore.from_clients` parity
+path).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.feedback import pack_signs, packed_sign_nbytes, unpack_signs
+from repro.data.dataset import Dataset
+from repro.fl.client import FLClient
+
+__all__ = [
+    "ClientStateStore",
+    "CyclicPartition",
+    "DataPartition",
+    "DEFAULT_SHARD_SIZE",
+    "ExplicitPartition",
+    "IndexedPartition",
+    "StoreClient",
+]
+
+#: Rows per shard.  Large enough that shard bookkeeping is negligible,
+#: small enough that touching a 100-client cohort in a 1M-population
+#: materializes kilobytes, not the pool.
+DEFAULT_SHARD_SIZE = 4096
+
+_U64 = (1 << 64) - 1
+
+
+def _encode_pcg64(state: Dict[str, Any], out: np.ndarray) -> None:
+    """Pack a ``Generator.bit_generator.state`` dict into 6 uint64."""
+    if state.get("bit_generator") != "PCG64":
+        raise ValueError(
+            "the client-state store holds PCG64 counter state; got "
+            f"bit generator {state.get('bit_generator')!r} (build clients "
+            "with numpy's default_rng)"
+        )
+    inner = state["state"]
+    s, inc = int(inner["state"]), int(inner["inc"])
+    out[0] = (s >> 64) & _U64
+    out[1] = s & _U64
+    out[2] = (inc >> 64) & _U64
+    out[3] = inc & _U64
+    out[4] = int(state["has_uint32"]) & _U64
+    out[5] = int(state["uinteger"]) & _U64
+
+
+def _decode_pcg64(row: np.ndarray) -> Dict[str, Any]:
+    """Invert :func:`_encode_pcg64` back to a state dict."""
+    return {
+        "bit_generator": "PCG64",
+        "state": {
+            "state": (int(row[0]) << 64) | int(row[1]),
+            "inc": (int(row[2]) << 64) | int(row[3]),
+        },
+        "has_uint32": int(row[4]),
+        "uinteger": int(row[5]),
+    }
+
+
+class DataPartition:
+    """Maps a client index to its training shard of a shared dataset."""
+
+    #: Manifest tag checked on checkpoint restore.
+    kind = "base"
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def n_samples(self, index: int) -> int:
+        """Shard size of client ``index`` without materializing data."""
+        raise NotImplementedError
+
+    def materialize(self, index: int) -> Dataset:
+        """The client's dataset, built lazily (views where possible)."""
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe shape summary for the checkpoint manifest."""
+        return {"kind": self.kind, "n_clients": len(self)}
+
+
+class ExplicitPartition(DataPartition):
+    """Prebuilt per-client datasets (the ``from_clients`` parity path).
+
+    Holds object references, so it is O(population) like the eager
+    client list it came from — use :class:`CyclicPartition` or
+    :class:`IndexedPartition` for large populations.
+    """
+
+    kind = "explicit"
+
+    def __init__(self, datasets: Sequence[Dataset]) -> None:
+        if not datasets:
+            raise ValueError("need at least one dataset")
+        self._datasets = list(datasets)
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    def n_samples(self, index: int) -> int:
+        return len(self._datasets[index])
+
+    def materialize(self, index: int) -> Dataset:
+        return self._datasets[index]
+
+
+class IndexedPartition(DataPartition):
+    """Explicit index lists compacted into one contiguous array.
+
+    Accepts the output of any :mod:`repro.data.partition` function
+    (label shards, Dirichlet, IID, groups) and stores it as a single
+    int64 index array plus per-client offsets — two contiguous arrays
+    instead of P Python lists.  ``materialize`` gathers the client's
+    rows (a copy, for the active cohort only).
+    """
+
+    kind = "indexed"
+
+    def __init__(self, dataset: Dataset, parts: Sequence[np.ndarray]) -> None:
+        if not parts:
+            raise ValueError("need at least one partition entry")
+        self.dataset = dataset
+        lengths = np.asarray([len(p) for p in parts], dtype=np.int64)
+        if np.any(lengths == 0):
+            raise ValueError("every client needs at least one sample")
+        self._offsets = np.zeros(len(parts) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=self._offsets[1:])
+        self._indices = np.concatenate(
+            [np.asarray(p, dtype=np.int64) for p in parts]
+        )
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def n_samples(self, index: int) -> int:
+        return int(self._offsets[index + 1] - self._offsets[index])
+
+    def materialize(self, index: int) -> Dataset:
+        idx = self._indices[self._offsets[index] : self._offsets[index + 1]]
+        return Dataset(self.dataset.x[idx], self.dataset.y[idx])
+
+
+class CyclicPartition(DataPartition):
+    """O(1)-state partition: wrap-around slices of a shared dataset.
+
+    Client ``i`` owns the ``samples_per_client`` rows starting at
+    ``(i * stride) % n`` — population size is decoupled from dataset
+    size, which is what a million-client emulation over a fixed corpus
+    needs.  Non-wrapping clients get zero-copy views of the base
+    arrays; only the few wrap-around clients pay a concatenation.
+    """
+
+    kind = "cyclic"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        n_clients: int,
+        samples_per_client: int,
+        stride: Optional[int] = None,
+    ) -> None:
+        if n_clients < 1:
+            raise ValueError("n_clients must be >= 1")
+        if not 1 <= samples_per_client <= len(dataset):
+            raise ValueError(
+                f"samples_per_client must be in [1, {len(dataset)}], "
+                f"got {samples_per_client}"
+            )
+        self.dataset = dataset
+        self.n_clients = n_clients
+        self.samples_per_client = samples_per_client
+        self.stride = samples_per_client if stride is None else stride
+        if self.stride < 1:
+            raise ValueError("stride must be >= 1")
+
+    def __len__(self) -> int:
+        return self.n_clients
+
+    def n_samples(self, index: int) -> int:
+        del index
+        return self.samples_per_client
+
+    def materialize(self, index: int) -> Dataset:
+        n = len(self.dataset)
+        start = (index * self.stride) % n
+        end = start + self.samples_per_client
+        if end <= n:
+            return Dataset(self.dataset.x[start:end], self.dataset.y[start:end])
+        wrap = end - n
+        return Dataset(
+            np.concatenate([self.dataset.x[start:], self.dataset.x[:wrap]]),
+            np.concatenate([self.dataset.y[start:], self.dataset.y[:wrap]]),
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "n_clients": self.n_clients,
+            "samples_per_client": self.samples_per_client,
+            "stride": self.stride,
+        }
+
+
+class StoreClient(FLClient):
+    """A lazily materialized view of one store row.
+
+    A real :class:`~repro.fl.client.FLClient` — every executor backend
+    (serial/thread/batched) runs it unchanged; its dataset aliases the
+    partition's shared arrays and its RNG stream was restored from (or
+    freshly derived for) its shard row.  Views live for one round:
+    the store's :meth:`~ClientStateStore.writeback` captures the
+    advanced stream back into the shard and retires the view.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        train_data: Dataset,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(client_id, train_data, rng=rng)
+        self._retired = False  # ckpt: transient — views never outlive their round
+
+    def compute_update(self, *args, **kwargs):
+        if self._retired:
+            raise RuntimeError(
+                f"store view for client {self.client_id} was already "
+                "written back; check out a fresh cohort"
+            )
+        return super().compute_update(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"StoreClient(id={self.client_id}, n={self.n_samples})"
+
+
+class _Shard:
+    """One shard's arrays; allocated only when a row is first touched."""
+
+    __slots__ = ("rng", "live", "stats", "feedback")
+
+    def __init__(self, rows: int) -> None:
+        self.rng = np.zeros((rows, 6), dtype=np.uint64)
+        self.live = np.zeros(rows, dtype=bool)
+        self.stats = np.zeros((rows, 3), dtype=np.int64)
+        self.feedback: Optional[np.ndarray] = None
+
+
+#: stats columns, by index.
+_PARTICIPATIONS, _UPLOADS, _LAST_ROUND = 0, 1, 2
+
+
+class ClientStateStore:
+    """Sharded array-backed per-client state for huge populations.
+
+    ``population`` rows of client state (RNG counters, participation
+    stats, packed feedback signs) in lazily allocated fixed-size
+    shards; ``partition`` maps rows to data.  Peak memory is
+    O(touched shards + dataset), never O(population x object): a
+    100-client cohort from a million-client pool materializes a
+    handful of shards and exactly 100 Python objects.
+
+    ``track_feedback=True`` additionally records, for every
+    participant, the packed sign bit-planes of the feedback vector it
+    trained against (``n_params`` then names the model size; see
+    :func:`repro.core.feedback.pack_signs`).
+    """
+
+    def __init__(
+        self,
+        population: int,
+        partition: DataPartition,
+        seed: int = 0,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        track_feedback: bool = False,
+        n_params: Optional[int] = None,
+    ) -> None:
+        if population < 1:
+            raise ValueError("population must be >= 1")
+        if shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        if len(partition) < population:
+            raise ValueError(
+                f"partition covers {len(partition)} clients, population "
+                f"is {population}"
+            )
+        if track_feedback and (n_params is None or n_params < 1):
+            raise ValueError("track_feedback=True requires n_params >= 1")
+        self.population = population
+        self.partition = partition  # ckpt: transient — re-supplied at build, like datasets
+        self.seed = seed
+        self.shard_size = shard_size
+        self.track_feedback = track_feedback
+        self.n_params = n_params
+        self._shards: Dict[int, _Shard] = {}
+        self._outstanding: Dict[int, StoreClient] = {}  # ckpt: transient — live round views
+        self.metrics = None  # ckpt: transient — live registry binding
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_clients(
+        cls,
+        clients: Sequence[FLClient],
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        track_feedback: bool = False,
+        n_params: Optional[int] = None,
+    ) -> "ClientStateStore":
+        """Adopt an eager client list: same ids, same streams, same data.
+
+        The resulting store is bitwise-interchangeable with the list it
+        came from — every view checked out later resumes the exact RNG
+        stream the eager object held, so run histories digest-match.
+        Client ids must be the dense range ``0..len-1`` (the store's
+        row index *is* the client id).
+        """
+        for position, client in enumerate(clients):
+            if client.client_id != position:
+                raise ValueError(
+                    "store rows are indexed by client id; expected client "
+                    f"{position} at position {position}, got "
+                    f"{client.client_id}"
+                )
+        store = cls(
+            len(clients),
+            ExplicitPartition([c.train_data for c in clients]),
+            shard_size=shard_size,
+            track_feedback=track_feedback,
+            n_params=n_params,
+        )
+        for client in clients:
+            shard, offset = store._locate(client.client_id)
+            _encode_pcg64(client.rng_state(), shard.rng[offset])
+            shard.live[offset] = True
+        return store
+
+    # -- internals -----------------------------------------------------
+
+    def _shard_rows(self, shard_id: int) -> int:
+        start = shard_id * self.shard_size
+        return min(self.shard_size, self.population - start)
+
+    def _locate(self, index: int):
+        """(shard, row offset) for a client index, materializing lazily."""
+        shard_id, offset = divmod(index, self.shard_size)
+        shard = self._shards.get(shard_id)
+        if shard is None:
+            shard = _Shard(self._shard_rows(shard_id))
+            self._shards[shard_id] = shard
+            if self.metrics is not None:
+                self.metrics.counter("store.shards_materialized").inc()
+        return shard, offset
+
+    def _fresh_stream(self, index: int) -> np.random.Generator:
+        """The deterministic stream of a never-touched client.
+
+        A pure function of ``(seed, index)``: participation order and
+        shard touch order cannot change any client's draws.
+        """
+        return np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence(entropy=(self.seed, index)))
+        )
+
+    # -- the round-trip: checkout, writeback ---------------------------
+
+    def checkout(self, indices: Sequence[int]) -> List[StoreClient]:
+        """Materialize live views for this round's cohort.
+
+        Views come back in the order of ``indices``.  Every view must
+        be returned through :meth:`writeback` before the next checkout
+        of the same client or a state snapshot.
+        """
+        views: List[StoreClient] = []
+        for raw in indices:
+            index = int(raw)
+            if not 0 <= index < self.population:
+                raise IndexError(
+                    f"client index {index} outside population "
+                    f"[0, {self.population})"
+                )
+            if index in self._outstanding:
+                raise RuntimeError(
+                    f"client {index} is already checked out; writeback "
+                    "the previous cohort first"
+                )
+            shard, offset = self._locate(index)
+            if shard.live[offset]:
+                rng = np.random.Generator(np.random.PCG64())
+                rng.bit_generator.state = _decode_pcg64(shard.rng[offset])
+            else:
+                rng = self._fresh_stream(index)
+            view = StoreClient(index, self.partition.materialize(index), rng)
+            self._outstanding[index] = view
+            views.append(view)
+        if self.metrics is not None:
+            self.metrics.counter("store.checkouts").inc(len(views))
+        return views
+
+    def writeback(self, views: Sequence[StoreClient]) -> None:
+        """Capture advanced RNG streams into shard rows; retire the views."""
+        for view in views:
+            index = view.client_id
+            if self._outstanding.get(index) is not view:
+                raise RuntimeError(
+                    f"client {index} is not checked out from this store"
+                )
+            shard, offset = self._locate(index)
+            _encode_pcg64(view.rng_state(), shard.rng[offset])
+            shard.live[offset] = True
+            view._retired = True
+            del self._outstanding[index]
+
+    def record_round(
+        self,
+        iteration: int,
+        uploaded_ids: Sequence[int],
+        skipped_ids: Sequence[int],
+        feedback_sign: Optional[np.ndarray] = None,
+    ) -> None:
+        """Account one round's participation into the stats columns.
+
+        With feedback tracking on, every participant's row also
+        records the packed signs of ``feedback_sign`` — the broadcast
+        u_bar it judged its update against.
+        """
+        packed = None
+        if self.track_feedback and feedback_sign is not None:
+            packed = pack_signs(feedback_sign)
+            if packed.size != packed_sign_nbytes(self.n_params):
+                raise ValueError(
+                    f"feedback sign vector is not {self.n_params} "
+                    "parameters wide"
+                )
+        for ids, uploaded in ((uploaded_ids, True), (skipped_ids, False)):
+            for raw in ids:
+                index = int(raw)
+                shard, offset = self._locate(index)
+                shard.stats[offset, _PARTICIPATIONS] += 1
+                if uploaded:
+                    shard.stats[offset, _UPLOADS] += 1
+                shard.stats[offset, _LAST_ROUND] = iteration
+                if packed is not None:
+                    if shard.feedback is None:
+                        shard.feedback = np.zeros(
+                            (len(shard.live), packed.size), dtype=np.uint8
+                        )
+                    shard.feedback[offset] = packed
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def materialized_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held in shard arrays (the population-model footprint)."""
+        total = 0
+        for shard in self._shards.values():
+            total += shard.rng.nbytes + shard.live.nbytes + shard.stats.nbytes
+            if shard.feedback is not None:
+                total += shard.feedback.nbytes
+        return total
+
+    def participation_stats(self, index: int) -> Dict[str, int]:
+        """(participations, uploads, last round) of one client."""
+        shard_id, offset = divmod(int(index), self.shard_size)
+        shard = self._shards.get(shard_id)
+        if shard is None:
+            return {"participations": 0, "uploads": 0, "last_round": 0}
+        row = shard.stats[offset]
+        return {
+            "participations": int(row[_PARTICIPATIONS]),
+            "uploads": int(row[_UPLOADS]),
+            "last_round": int(row[_LAST_ROUND]),
+        }
+
+    def feedback_signs(self, index: int) -> Optional[np.ndarray]:
+        """Unpacked {-1,0,+1} feedback signs last seen by one client."""
+        if not self.track_feedback:
+            raise ValueError("store was built with track_feedback=False")
+        shard_id, offset = divmod(int(index), self.shard_size)
+        shard = self._shards.get(shard_id)
+        if shard is None or shard.feedback is None:
+            return None
+        return unpack_signs(shard.feedback[offset], self.n_params)
+
+    # -- checkpoint plumbing (see repro.ckpt.state) --------------------
+
+    def manifest(self) -> Dict[str, Any]:
+        """JSON-safe identity + shape summary for the ckpt manifest."""
+        if self._outstanding:
+            raise RuntimeError(
+                f"{len(self._outstanding)} views are checked out; the "
+                "store only snapshots at round boundaries"
+            )
+        return {
+            "population": self.population,
+            "shard_size": self.shard_size,
+            "seed": self.seed,
+            "track_feedback": self.track_feedback,
+            "n_params": self.n_params,
+            "shards": sorted(self._shards),
+            "feedback_shards": sorted(
+                s for s, shard in self._shards.items()
+                if shard.feedback is not None
+            ),
+            "partition": self.partition.describe(),
+        }
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Materialized shard arrays, keyed ``shard/<id>/<field>``."""
+        if self._outstanding:
+            raise RuntimeError(
+                f"{len(self._outstanding)} views are checked out; the "
+                "store only snapshots at round boundaries"
+            )
+        arrays: Dict[str, np.ndarray] = {}
+        for shard_id in sorted(self._shards):
+            shard = self._shards[shard_id]
+            arrays[f"shard/{shard_id}/rng"] = shard.rng
+            arrays[f"shard/{shard_id}/live"] = shard.live
+            arrays[f"shard/{shard_id}/stats"] = shard.stats
+            if shard.feedback is not None:
+                arrays[f"shard/{shard_id}/feedback"] = shard.feedback
+        return arrays
+
+    def load_state(
+        self, manifest: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> None:
+        """Restore a :meth:`manifest` + :meth:`state_arrays` snapshot."""
+        for field in ("population", "shard_size", "seed", "track_feedback"):
+            if manifest[field] != getattr(self, field):
+                raise ValueError(
+                    f"store snapshot has {field}={manifest[field]!r}, "
+                    f"this store has {getattr(self, field)!r}"
+                )
+        if manifest["partition"] != self.partition.describe():
+            raise ValueError(
+                f"store snapshot partition {manifest['partition']!r} does "
+                f"not match {self.partition.describe()!r}"
+            )
+        self._shards = {}
+        feedback_shards = set(manifest.get("feedback_shards", ()))
+        for shard_id in manifest["shards"]:
+            shard_id = int(shard_id)
+            rows = self._shard_rows(shard_id)
+            shard = _Shard(rows)
+            rng = np.asarray(arrays[f"shard/{shard_id}/rng"], dtype=np.uint64)
+            live = np.asarray(arrays[f"shard/{shard_id}/live"], dtype=bool)
+            stats = np.asarray(
+                arrays[f"shard/{shard_id}/stats"], dtype=np.int64
+            )
+            if rng.shape != (rows, 6) or live.shape != (rows,) or (
+                stats.shape != (rows, 3)
+            ):
+                raise ValueError(
+                    f"shard {shard_id} arrays have the wrong shape for "
+                    f"{rows} rows"
+                )
+            shard.rng[...] = rng
+            shard.live[...] = live
+            shard.stats[...] = stats
+            if shard_id in feedback_shards:
+                shard.feedback = np.asarray(
+                    arrays[f"shard/{shard_id}/feedback"], dtype=np.uint8
+                ).copy()
+            self._shards[shard_id] = shard
+
+    def __repr__(self) -> str:
+        return (
+            f"ClientStateStore(population={self.population}, "
+            f"shard_size={self.shard_size}, "
+            f"materialized={self.materialized_shards})"
+        )

@@ -32,6 +32,7 @@ from repro.fl.executor import (
 from repro.fl.history import RoundRecord, RunHistory
 from repro.fl.sampling import ClientSampler, FullParticipation
 from repro.fl.server import FLServer
+from repro.fl.store import ClientStateStore
 from repro.fl.workspace import ModelWorkspace
 from repro.obs import JsonlSink, MemorySink, NULL_TRACER, Tracer
 
@@ -54,12 +55,22 @@ def _ensure_finite(vector: np.ndarray, what: str) -> None:
 
 
 class FederatedTrainer:
-    """Drives one policy over one federation of clients."""
+    """Drives one policy over one federation of clients.
+
+    ``clients`` is either an eager sequence of :class:`FLClient`
+    objects (the small-federation setting) or a
+    :class:`~repro.fl.store.ClientStateStore` (the population model:
+    the sampler draws indices, the store materializes views for just
+    the active cohort, and advanced RNG streams are written back to
+    the shard arrays at the end of each round).  Both paths run the
+    same round loop and produce bitwise-identical histories for the
+    same streams and data.
+    """
 
     def __init__(
         self,
         workspace: ModelWorkspace,
-        clients: Sequence[FLClient],
+        clients: Union[Sequence[FLClient], ClientStateStore],
         policy: UploadPolicy,
         config: FLConfig,
         eval_fn: Optional[EvalFn] = None,
@@ -69,13 +80,19 @@ class FederatedTrainer:
         workspace_spec: Optional[WorkspaceSpec] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
-        if not clients:
-            raise ValueError("need at least one client")
-        ids = [c.client_id for c in clients]
-        if len(set(ids)) != len(ids):
-            raise ValueError("client ids must be unique")
+        if isinstance(clients, ClientStateStore):
+            self.store = clients
+            # No eager pool: views exist only while a round is running.
+            self.clients = []
+        else:
+            if not clients:
+                raise ValueError("need at least one client")
+            ids = [c.client_id for c in clients]
+            if len(set(ids)) != len(ids):
+                raise ValueError("client ids must be unique")
+            self.store = None
+            self.clients = list(clients)
         self.workspace = workspace
-        self.clients = list(clients)
         self.policy = policy
         self.config = config  # ckpt: transient — caller-supplied, re-passed on restore
         self.eval_fn = eval_fn  # ckpt: transient — caller-supplied callable
@@ -111,6 +128,15 @@ class FederatedTrainer:
             config.executor if executor is None else executor,
             n_workers=config.executor_workers,
         )
+        if self.store is not None:
+            if self.executor.name == "process":
+                raise ValueError(
+                    "the process backend pins client objects into worker "
+                    "processes at bind time; store-backed views are "
+                    "materialized per round — use the serial, thread or "
+                    "batched backend with a ClientStateStore"
+                )
+            self.store.metrics = self.tracer.metrics
         self.executor.bind(
             workspace, self.clients, spec=workspace_spec, tracer=self.tracer
         )
@@ -143,7 +169,11 @@ class FederatedTrainer:
         feedback = self.server.feedback
         global_params = self.server.global_params.copy()
 
-        participants = self.sampler.select(t, self.clients)
+        if self.store is not None:
+            indices = self.sampler.select_indices(t, self.store.population)
+            participants = self.store.checkout(indices)
+        else:
+            participants = self.sampler.select(t, self.clients)
         if not participants:
             raise RuntimeError(f"sampler selected no clients in round {t}")
         round_span.set_attr("n_participants", len(participants))
@@ -222,6 +252,21 @@ class FederatedTrainer:
                 [u.client_id for u in uploads], [s.client_id for s in skipped]
             )
 
+        if self.store is not None:
+            # Account participation into the shard stats and capture
+            # every view's advanced RNG stream back into its row; after
+            # this the round's views are retired and the store is
+            # consistent (checkpointable) again.
+            self.store.record_round(
+                t,
+                [u.client_id for u in uploads],
+                [s.client_id for s in skipped],
+                feedback_sign=(
+                    feedback if self.store.track_feedback else None
+                ),
+            )
+            self.store.writeback(participants)
+
         record = RoundRecord(
             iteration=t,
             n_clients=len(participants),
@@ -294,7 +339,7 @@ class FederatedTrainer:
         cls,
         path: Union[str, Path],
         workspace: ModelWorkspace,
-        clients: Sequence[FLClient],
+        clients: Union[Sequence[FLClient], ClientStateStore],
         policy: UploadPolicy,
         config: FLConfig,
         eval_fn: Optional[EvalFn] = None,
@@ -306,11 +351,11 @@ class FederatedTrainer:
         """Rebuild a trainer from a checkpoint and the federation parts.
 
         The caller reconstructs the same federation the checkpointed
-        run used (model, clients, policy, config, sampler — cheap,
-        deterministic object construction); the checkpoint then
-        overwrites every piece of mutable state, the executor is
-        re-bound to the restored workspace, and the trace continuation
-        is wired up.  The returned trainer's next ``run_round`` is
+        run used (model, clients — or a ClientStateStore of the same
+        shape — policy, config, sampler: cheap, deterministic object
+        construction); the checkpoint then overwrites every piece of
+        mutable state, the executor is re-bound to the restored
+        workspace, and the trace continuation is wired up.  The returned trainer's next ``run_round`` is
         iteration ``checkpoint.iteration + 1`` and behaves bit-for-bit
         like the uninterrupted run's.
         """

@@ -182,7 +182,14 @@ class SharedStateRaceRule(ProjectRule):
     reachable from them through the call graph runs (potentially)
     concurrently.  In that set, flag stores whose root is module-level
     state, an imported module, or a parameter whose name matches the
-    broadcast-parameter pattern (``shared_param_names``).  Worker-side
+    broadcast-parameter pattern (``shared_param_names``) or the
+    client-state-store pattern (``store_param_names``).  The store
+    boundary (DESIGN.md §6f): shard arrays of a
+    :class:`~repro.fl.store.ClientStateStore` are **coordinator-owned**
+    — only the store's own ``checkout``/``writeback``/``record_round``
+    mutate them, at round boundaries, on the coordinator thread; a
+    worker-reachable write to a store-named parameter is a determinism
+    race even if today's backends never interleave it.  Worker-side
     module rebinds are allowed only in ``allow_global_rebind_in``
     (default ``fl/executor.py``, which owns the per-process
     ``_WORKER_STATE`` hand-off).
@@ -196,6 +203,12 @@ class SharedStateRaceRule(ProjectRule):
         pattern = re.compile(
             self.settings.option(
                 "shared_param_names", r"^(global_params|global_view|broadcast.*)$"
+            )
+        )
+        store_pattern = re.compile(
+            self.settings.option(
+                "store_param_names",
+                r"^(store|client_store|shards?|shard_.*)$",
             )
         )
         allow_rebind = self.path_option(
@@ -238,6 +251,20 @@ class SharedStateRaceRule(ProjectRule):
                                 f"{param!r} ({kind} of "
                                 f"{store['name']!r}); workers must "
                                 "treat broadcast state as read-only",
+                            )
+                        )
+                    elif store_pattern.match(param):
+                        out.append(
+                            self.violation(
+                                summary,
+                                store["line"],
+                                f"worker-reachable function {fid!r} "
+                                f"writes client-state store parameter "
+                                f"{param!r} ({kind} of "
+                                f"{store['name']!r}); shard arrays are "
+                                "coordinator-owned — only the store's "
+                                "checkout/writeback/record_round may "
+                                "touch them, at round boundaries",
                             )
                         )
         return out

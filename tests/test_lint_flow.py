@@ -165,6 +165,54 @@ def test_shared_state_race_module_write_in_worker(tmp_path):
     assert "module-level state 'STATE'" in result.violations[0].message
 
 
+def test_shared_state_race_store_param_write_in_worker(tmp_path):
+    # The fl/store boundary: shard arrays are coordinator-owned, so a
+    # worker-reachable write through a store-named parameter must fire.
+    bad = dict(RACE_TREE)
+    bad["eng.py"] = bad["eng.py"].replace(
+        "def task(global_params, scratch):\n",
+        "def task(global_params, scratch, store):\n",
+    ).replace(
+        "    scratch[0] = 1.0\n",
+        "    scratch[0] = 1.0\n    store[0] = 7\n",
+    )
+    result, _ = _analyze(tmp_path, bad)
+    assert _rules(result) == ["shared-state-race"]
+    assert (
+        "client-state store parameter 'store'"
+        in result.violations[0].message
+    )
+
+
+def test_shared_state_race_shard_array_write_in_worker(tmp_path):
+    bad = dict(RACE_TREE)
+    bad["eng.py"] = bad["eng.py"].replace(
+        "def task(global_params, scratch):\n",
+        "def task(global_params, scratch, shard_rng):\n",
+    ).replace(
+        "    scratch[0] = 1.0\n",
+        "    scratch[0] = 1.0\n    shard_rng[3] = 0\n",
+    )
+    result, _ = _analyze(tmp_path, bad)
+    assert _rules(result) == ["shared-state-race"]
+    assert "'shard_rng'" in result.violations[0].message
+
+
+def test_store_read_in_worker_is_not_a_race(tmp_path):
+    # Workers may *read* store-backed views; only writes cross the
+    # coordinator-ownership line.
+    ok = dict(RACE_TREE)
+    ok["eng.py"] = ok["eng.py"].replace(
+        "def task(global_params, scratch):\n",
+        "def task(global_params, scratch, store):\n",
+    ).replace(
+        "    scratch[0] = 1.0\n",
+        "    scratch[0] = store[0]\n",
+    )
+    result, _ = _analyze(tmp_path, ok)
+    assert _rules(result) == []
+
+
 def test_shared_state_race_transitive_reachability(tmp_path):
     # The write sits one call away from the submitted entry point.
     result, _ = _analyze(

@@ -8,6 +8,7 @@ from repro.data.dataset import Dataset
 from repro.fl.client import FLClient
 from repro.fl.config import FLConfig
 from repro.fl.sampling import (
+    AvailabilitySampler,
     FullParticipation,
     UniformSampler,
     UnreliableParticipation,
@@ -78,6 +79,121 @@ class TestSamplers:
     def test_drop_probability_validated(self):
         with pytest.raises(ValueError):
             UnreliableParticipation(FullParticipation(), 1.0)
+
+
+class TestIndexSpace:
+    """select_indices is the primary form; select derives from it."""
+
+    def test_select_matches_select_indices(self):
+        clients = _clients(10)
+        a = UniformSampler(0.4, rng=3)
+        b = UniformSampler(0.4, rng=3)
+        selected = a.select(1, clients)
+        indices = b.select_indices(1, 10)
+        assert [c.client_id for c in selected] == [int(i) for i in indices]
+
+    def test_uniform_draws_unchanged_by_index_rewrite(self):
+        # The exact RNG consumption of the pre-index-space sampler:
+        # one choice(n, k, replace=False) then an index sort.  Existing
+        # run digests depend on it.
+        rng = np.random.default_rng(7)
+        expected = sorted(rng.choice(10, size=4, replace=False))
+        got = UniformSampler(0.4, rng=7).select_indices(5, 10)
+        assert [int(i) for i in got] == [int(i) for i in expected]
+
+    def test_unreliable_draws_unchanged_by_vectorization(self):
+        # One rng.random(k) consumes the PCG64 stream exactly like k
+        # scalar rng.random() calls, so survivors are bit-identical to
+        # the old per-client dropout loop.
+        rng_choice = np.random.default_rng(9)
+        rng_drop = np.random.default_rng(11)
+        base = sorted(rng_choice.choice(20, size=8, replace=False))
+        draws = [rng_drop.random() for _ in base]
+        expected = [i for i, d in zip(base, draws) if d >= 0.4]
+        if not expected:
+            expected = [base[rng_drop.integers(0, len(base))]]
+        got = UnreliableParticipation(
+            UniformSampler(0.4, rng=np.random.default_rng(9)),
+            0.4,
+            rng=np.random.default_rng(11),
+        ).select_indices(1, 20)
+        assert [int(i) for i in got] == [int(i) for i in expected]
+
+    def test_full_participation_indices(self):
+        idx = FullParticipation().select_indices(3, 7)
+        assert idx.tolist() == list(range(7))
+
+    def test_uniform_count_mode(self):
+        sampler = UniformSampler(count=5, rng=0)
+        idx = sampler.select_indices(1, 1_000_000)
+        assert len(idx) == 5
+        assert len(set(idx.tolist())) == 5
+        assert all(0 <= i < 1_000_000 for i in idx)
+        with pytest.raises(ValueError):
+            UniformSampler(count=50, rng=0).select_indices(1, 10)
+
+    def test_exactly_one_of_fraction_and_count(self):
+        with pytest.raises(ValueError):
+            UniformSampler()
+        with pytest.raises(ValueError):
+            UniformSampler(0.5, count=3)
+        with pytest.raises(ValueError):
+            UniformSampler(count=0)
+
+    def test_state_dict_round_trips_count_sampler(self):
+        a = UniformSampler(count=4, rng=5)
+        a.select_indices(1, 100)
+        state = a.state_dict()
+        b = UniformSampler(count=4, rng=0)
+        b.load_state_dict(state)
+        assert a.select_indices(2, 100).tolist() == (
+            b.select_indices(2, 100).tolist()
+        )
+
+
+class TestAvailabilitySampler:
+    def test_cohort_size_and_bounds(self):
+        sampler = AvailabilitySampler(10, [0.1, 0.5, 1.0], rng=0)
+        for t in range(1, 8):
+            idx = sampler.select_indices(t, 1_000)
+            assert len(idx) == 10
+            assert len(set(idx.tolist())) == 10
+            assert all(0 <= i < 1_000 for i in idx)
+
+    def test_window_is_pure_function_of_iteration(self):
+        # Same round, fresh RNG with the same seed: same window, same
+        # cohort.  The trace position depends on t alone, never on how
+        # many rounds ran before.
+        a = AvailabilitySampler(5, [0.2], rng=3)
+        b = AvailabilitySampler(5, [0.2], rng=3)
+        a.select_indices(1, 500)  # advance a's RNG one round
+        state = a.state_dict()
+        b.load_state_dict(state)
+        assert a.select_indices(2, 500).tolist() == (
+            b.select_indices(2, 500).tolist()
+        )
+
+    def test_trace_cycles(self):
+        sampler = AvailabilitySampler(2, [0.01, 1.0], rng=1)
+        assert sampler.available(1, 1_000) == 10
+        assert sampler.available(2, 1_000) == 1_000
+        assert sampler.available(3, 1_000) == 10
+
+    def test_availability_floor_is_cohort(self):
+        sampler = AvailabilitySampler(50, [0.001], rng=1)
+        assert sampler.available(1, 1_000) == 50
+        idx = sampler.select_indices(1, 1_000)
+        assert len(idx) == 50
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            AvailabilitySampler(0, [0.5])
+        with pytest.raises(ValueError):
+            AvailabilitySampler(5, [])
+        with pytest.raises(ValueError):
+            AvailabilitySampler(5, [0.0])
+        with pytest.raises(ValueError):
+            AvailabilitySampler(5, [0.5]).select_indices(1, 3)
 
 
 class TestTrainerIntegration:

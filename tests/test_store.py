@@ -1,0 +1,474 @@
+"""The sharded client-state store: parity, laziness, checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core.feedback import pack_signs, packed_sign_nbytes, unpack_signs
+from repro.core.policy import CMFLPolicy
+from repro.core.thresholds import InverseSqrtThreshold
+from repro.data.dataset import Dataset
+from repro.data.partition import dirichlet_partition
+from repro.fl.client import FLClient
+from repro.fl.config import FLConfig
+from repro.fl.sampling import UniformSampler
+from repro.fl.store import (
+    ClientStateStore,
+    CyclicPartition,
+    ExplicitPartition,
+    IndexedPartition,
+    StoreClient,
+)
+from repro.fl.trainer import FederatedTrainer
+from repro.fl.workspace import ModelWorkspace
+from repro.models.linear import make_logistic_regression
+from repro.nn.losses import SigmoidBinaryCrossEntropy
+from repro.nn.optimizers import SGD
+from repro.nn.schedules import ConstantLR
+from repro.utils.rng import child_rngs
+
+
+def _dataset(rows=60, features=4, seed=0):
+    rngs = child_rngs(seed, 2)
+    w = rngs[0].normal(size=features)
+    x = rngs[1].normal(size=(rows, features))
+    y = (x @ w > 0).astype(np.int64)
+    return Dataset(x, y)
+
+
+def _clients(n=8, per=12, seed=0):
+    rngs = child_rngs(seed, n + 2)
+    w = rngs[0].normal(size=4)
+    out = []
+    for i in range(n):
+        x = rngs[1].normal(size=(per, 4))
+        y = (x @ w > 0).astype(np.int64)
+        out.append(FLClient(i, Dataset(x, y), rng=rngs[2 + i]))
+    return out
+
+
+def _workspace(seed=3, lr=0.5):
+    model = make_logistic_regression(4, rng=seed)
+    return ModelWorkspace(
+        model, SigmoidBinaryCrossEntropy(), SGD(model.parameters(), lr)
+    )
+
+
+def _config(rounds=5, backend="serial"):
+    return FLConfig(
+        rounds=rounds,
+        local_epochs=2,
+        batch_size=6,
+        lr=ConstantLR(0.3),
+        executor=backend,
+    )
+
+
+def _history_digest(trainer):
+    from repro.experiments.timing import history_digest
+
+    return history_digest(trainer)
+
+
+class TestPackedSigns:
+    def test_round_trip_equals_sign(self):
+        rng = np.random.default_rng(0)
+        for n in (1, 7, 8, 9, 64, 1000):
+            v = rng.normal(size=n)
+            v[rng.random(n) < 0.3] = 0.0
+            assert np.array_equal(
+                unpack_signs(pack_signs(v), n), np.sign(v)
+            )
+
+    def test_parity_with_unpacked_feedback_path(self):
+        # The store records packed signs of u_bar; CMFL's relevance uses
+        # np.sign(u_bar).  The packed record must reproduce that vector
+        # exactly, zeros included.
+        rng = np.random.default_rng(1)
+        u_bar = rng.normal(size=129)
+        u_bar[::7] = 0.0
+        unpacked_signs = np.sign(u_bar)
+        packed = pack_signs(u_bar)
+        assert np.array_equal(unpack_signs(packed, 129), unpacked_signs)
+
+    def test_memory_is_two_bits_per_param(self):
+        n = 100_000
+        packed = packed_sign_nbytes(n)
+        assert packed == 2 * ((n + 7) // 8)
+        # ~32x below a float64 sign vector.
+        assert packed * 31 < n * 8
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            pack_signs(np.array([]))
+        with pytest.raises(ValueError):
+            packed_sign_nbytes(0)
+        with pytest.raises(ValueError):
+            unpack_signs(np.zeros(4, dtype=np.uint8), 100)
+
+
+class TestPartitions:
+    def test_cyclic_no_wrap_is_view(self):
+        data = _dataset(rows=50)
+        part = CyclicPartition(data, n_clients=1000, samples_per_client=10)
+        d0 = part.materialize(0)
+        assert np.shares_memory(d0.x, data.x)
+        assert np.array_equal(d0.x, data.x[:10])
+
+    def test_cyclic_wraps_around(self):
+        data = _dataset(rows=50)
+        part = CyclicPartition(data, n_clients=1000, samples_per_client=10)
+        # client 4 starts at row 40 and needs 10 rows -> no wrap;
+        # client 104 starts at (104*10) % 50 = 40 -> same shard.
+        d = part.materialize(4)
+        assert np.array_equal(d.x, data.x[40:50])
+        part7 = CyclicPartition(
+            data, n_clients=1000, samples_per_client=10, stride=7
+        )
+        d = part7.materialize(7)  # start 49, wraps 9 rows
+        assert np.array_equal(
+            d.x, np.concatenate([data.x[49:], data.x[:9]])
+        )
+        assert part7.n_samples(7) == 10
+
+    def test_cyclic_validates(self):
+        data = _dataset(rows=50)
+        with pytest.raises(ValueError):
+            CyclicPartition(data, n_clients=0, samples_per_client=10)
+        with pytest.raises(ValueError):
+            CyclicPartition(data, n_clients=10, samples_per_client=51)
+        with pytest.raises(ValueError):
+            CyclicPartition(data, 10, 10, stride=0)
+
+    def test_indexed_matches_subset(self):
+        data = _dataset(rows=60)
+        parts = dirichlet_partition(
+            np.asarray(data.y), n_clients=6, alpha=0.5, rng=7
+        )
+        ip = IndexedPartition(data, parts)
+        assert len(ip) == 6
+        for i, p in enumerate(parts):
+            assert ip.n_samples(i) == len(p)
+            sub = data.subset(p)
+            got = ip.materialize(i)
+            assert np.array_equal(got.x, sub.x)
+            assert np.array_equal(got.y, sub.y)
+
+    def test_indexed_rejects_empty_client(self):
+        data = _dataset(rows=10)
+        with pytest.raises(ValueError):
+            IndexedPartition(
+                data, [np.array([0, 1]), np.array([], dtype=np.int64)]
+            )
+
+    def test_explicit_serves_given_datasets(self):
+        ds = [_dataset(rows=5, seed=s) for s in range(3)]
+        ep = ExplicitPartition(ds)
+        assert len(ep) == 3
+        assert ep.materialize(1) is ds[1]
+        assert ep.n_samples(2) == 5
+
+
+class TestStoreCore:
+    def _store(self, population=10_000, shard_size=64, seed=11):
+        data = _dataset(rows=60)
+        part = CyclicPartition(data, population, samples_per_client=10)
+        return ClientStateStore(
+            population, part, seed=seed, shard_size=shard_size
+        )
+
+    def test_lazy_shards(self):
+        store = self._store()
+        assert store.materialized_shards == 0
+        views = store.checkout([0, 63, 64, 9_999])
+        store.writeback(views)
+        # rows 0 and 63 share shard 0; 64 is shard 1; 9999 is shard 156.
+        assert store.materialized_shards == 3
+        assert store.nbytes > 0
+
+    def test_streams_are_pure_functions_of_seed_and_index(self):
+        # Touch order must not change any client's draws.
+        a = self._store()
+        b = self._store()
+        va = a.checkout([5])
+        a.writeback(va)
+        va = a.checkout([5, 7_000])
+        vb = b.checkout([7_000])
+        assert (
+            va[1].rng_state()["state"] == vb[0].rng_state()["state"]
+        )
+        a.writeback(va)
+        b.writeback(vb)
+
+    def test_writeback_resumes_stream_bitwise(self):
+        store = self._store()
+        ref = np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence(entropy=(11, 42)))
+        )
+        for _ in range(3):
+            (view,) = store.checkout([42])
+            assert view._rng.random() == ref.random()
+            store.writeback([view])
+
+    def test_checkout_validates(self):
+        store = self._store()
+        with pytest.raises(IndexError):
+            store.checkout([10_000])
+        views = store.checkout([3])
+        with pytest.raises(RuntimeError):
+            store.checkout([3])  # already out
+        store.writeback(views)
+        with pytest.raises(RuntimeError):
+            store.writeback(views)  # already retired
+
+    def test_retired_view_refuses_compute(self):
+        store = self._store()
+        (view,) = store.checkout([1])
+        store.writeback([view])
+        with pytest.raises(RuntimeError):
+            view.compute_update(None, np.zeros(5), lr=0.1,
+                                local_epochs=1, batch_size=2)
+
+    def test_snapshot_refused_mid_round(self):
+        store = self._store()
+        views = store.checkout([1])
+        with pytest.raises(RuntimeError):
+            store.state_arrays()
+        with pytest.raises(RuntimeError):
+            store.manifest()
+        store.writeback(views)
+        assert "shards" in store.manifest()
+
+    def test_state_arrays_round_trip(self):
+        store = self._store()
+        views = store.checkout([2, 700])
+        for v in views:
+            v._rng.random(5)
+        store.writeback(views)
+        manifest = store.manifest()
+        arrays = {k: v.copy() for k, v in store.state_arrays().items()}
+        other = self._store()
+        other.load_state(manifest, arrays)
+        (a,) = store.checkout([700])
+        (b,) = other.checkout([700])
+        assert a._rng.random() == b._rng.random()
+        store.writeback([a])
+        other.writeback([b])
+
+    def test_load_state_validates_identity(self):
+        store = self._store()
+        views = store.checkout([0])
+        store.writeback(views)
+        manifest = store.manifest()
+        arrays = store.state_arrays()
+        with pytest.raises(ValueError):
+            self._store(seed=12).load_state(manifest, arrays)
+        smaller = ClientStateStore(
+            5_000,
+            CyclicPartition(_dataset(rows=60), 5_000, 10),
+            seed=11,
+            shard_size=64,
+        )
+        with pytest.raises(ValueError):
+            smaller.load_state(manifest, arrays)
+
+    def test_from_clients_requires_dense_ids(self):
+        clients = _clients(3)
+        clients[2] = FLClient(
+            9, clients[2].train_data, rng=np.random.default_rng(0)
+        )
+        with pytest.raises(ValueError):
+            ClientStateStore.from_clients(clients)
+
+    def test_record_round_stats_and_feedback(self):
+        data = _dataset(rows=60)
+        store = ClientStateStore(
+            100,
+            CyclicPartition(data, 100, 10),
+            track_feedback=True,
+            n_params=9,
+        )
+        u_bar = np.array([0.5, -1.0, 0.0, 2.0, -3.0, 0.0, 1.0, 1.0, -1.0])
+        store.record_round(3, [4, 5], [6], feedback_sign=u_bar)
+        assert store.participation_stats(4) == {
+            "participations": 1, "uploads": 1, "last_round": 3,
+        }
+        assert store.participation_stats(6) == {
+            "participations": 1, "uploads": 0, "last_round": 3,
+        }
+        assert store.participation_stats(7)["participations"] == 0
+        assert np.array_equal(store.feedback_signs(5), np.sign(u_bar))
+        # Same shard, never a participant: an all-zero sign row.
+        assert not store.feedback_signs(99).any()
+        # Untouched shard: no feedback recorded at all.
+        sharded = ClientStateStore(
+            100,
+            CyclicPartition(data, 100, 10),
+            shard_size=8,
+            track_feedback=True,
+            n_params=9,
+        )
+        sharded.record_round(1, [0], [], feedback_sign=u_bar)
+        assert sharded.feedback_signs(99) is None
+        plain = ClientStateStore(100, CyclicPartition(data, 100, 10))
+        with pytest.raises(ValueError):
+            plain.feedback_signs(0)
+
+    def test_constructor_validates(self):
+        data = _dataset(rows=60)
+        part = CyclicPartition(data, 10, 10)
+        with pytest.raises(ValueError):
+            ClientStateStore(0, part)
+        with pytest.raises(ValueError):
+            ClientStateStore(11, part)  # partition too small
+        with pytest.raises(ValueError):
+            ClientStateStore(10, part, track_feedback=True)  # no n_params
+
+
+class TestTrainerParity:
+    """Store-backed lazy views vs eager FLClient objects: same bits."""
+
+    def _eager_trainer(self, backend="serial", rounds=5):
+        trainer = FederatedTrainer(
+            _workspace(),
+            _clients(),
+            CMFLPolicy(InverseSqrtThreshold(0.8)),
+            _config(backend=backend),
+        )
+        trainer.run(rounds)
+        return trainer
+
+    def _store_trainer(self, backend="serial", rounds=5, run=True):
+        store = ClientStateStore.from_clients(_clients(), shard_size=4)
+        trainer = FederatedTrainer(
+            _workspace(),
+            store,
+            CMFLPolicy(InverseSqrtThreshold(0.8)),
+            _config(backend=backend),
+        )
+        if run:
+            trainer.run(rounds)
+        return trainer
+
+    def test_serial_digest_identical(self):
+        assert _history_digest(self._eager_trainer("serial")) == (
+            _history_digest(self._store_trainer("serial"))
+        )
+
+    def test_batched_digest_identical(self):
+        assert _history_digest(self._eager_trainer("serial")) == (
+            _history_digest(self._store_trainer("batched"))
+        )
+
+    def test_store_with_sampler(self):
+        store = ClientStateStore.from_clients(_clients(), shard_size=4)
+        trainer = FederatedTrainer(
+            _workspace(),
+            store,
+            CMFLPolicy(InverseSqrtThreshold(0.8)),
+            _config(),
+            sampler=UniformSampler(0.5, rng=2),
+        )
+        history = trainer.run(4)
+        assert all(r.n_clients == 4 for r in history)
+        eager = FederatedTrainer(
+            _workspace(),
+            _clients(),
+            CMFLPolicy(InverseSqrtThreshold(0.8)),
+            _config(),
+            sampler=UniformSampler(0.5, rng=2),
+        )
+        eager.run(4)
+        assert _history_digest(trainer) == _history_digest(eager)
+
+    def test_process_backend_rejected(self):
+        store = ClientStateStore.from_clients(_clients())
+        with pytest.raises(ValueError):
+            FederatedTrainer(
+                _workspace(),
+                store,
+                CMFLPolicy(InverseSqrtThreshold(0.8)),
+                _config(backend="process"),
+            )
+
+    def test_store_counters_account_cohorts(self):
+        from repro.obs import MemorySink, Tracer
+
+        store = ClientStateStore.from_clients(_clients(), shard_size=4)
+        trainer = FederatedTrainer(
+            _workspace(),
+            store,
+            CMFLPolicy(InverseSqrtThreshold(0.8)),
+            _config(),
+            tracer=Tracer(sinks=[MemorySink()]),
+        )
+        trainer.run(3)
+        # from_clients touched both shards before the trainer bound the
+        # metrics registry, so only the checkout traffic is counted.
+        assert store.metrics.counter("store.checkouts").value == 8 * 3
+        assert store.materialized_shards == 2
+        trainer.close()
+
+    def test_stats_reflect_cmfl_decisions(self):
+        trainer = self._store_trainer(rounds=5)
+        uploads = sum(
+            trainer.store.participation_stats(i)["uploads"]
+            for i in range(8)
+        )
+        participations = sum(
+            trainer.store.participation_stats(i)["participations"]
+            for i in range(8)
+        )
+        assert participations == 8 * 5
+        assert uploads == sum(r.n_uploaded for r in trainer.history)
+
+
+class TestStoreCheckpoint:
+    """Crash/resume with shard state stays bitwise-identical."""
+
+    def _build(self):
+        store = ClientStateStore.from_clients(_clients(), shard_size=4)
+        return FederatedTrainer(
+            _workspace(),
+            store,
+            CMFLPolicy(InverseSqrtThreshold(0.8)),
+            _config(rounds=8),
+            sampler=UniformSampler(0.5, rng=5),
+        )
+
+    def test_resume_is_bitwise_identical(self, tmp_path):
+        reference = self._build()
+        reference.run(8)
+        expected = _history_digest(reference)
+
+        crashed = self._build()
+        crashed.run(4)
+        path = crashed.save_checkpoint(tmp_path / "store.ckpt")
+        resumed = FederatedTrainer.restore(
+            path,
+            _workspace(),
+            ClientStateStore.from_clients(_clients(), shard_size=4),
+            CMFLPolicy(InverseSqrtThreshold(0.8)),
+            _config(rounds=8),
+            sampler=UniformSampler(0.5, rng=5),
+        )
+        resumed.run(4)
+        assert _history_digest(resumed) == expected
+        assert resumed.store.materialized_shards == (
+            crashed.store.materialized_shards
+        )
+
+    def test_store_checkpoint_mismatch_fails_loudly(self, tmp_path):
+        from repro.ckpt.format import CheckpointError
+
+        trainer = self._build()
+        trainer.run(2)
+        path = trainer.save_checkpoint(tmp_path / "store.ckpt")
+        with pytest.raises(CheckpointError):
+            FederatedTrainer.restore(
+                path,
+                _workspace(),
+                _clients(),  # eager federation, store-backed checkpoint
+                CMFLPolicy(InverseSqrtThreshold(0.8)),
+                _config(rounds=8),
+                sampler=UniformSampler(0.5, rng=5),
+            )

@@ -7,9 +7,11 @@ exits non-zero when any pair regressed by more than the threshold
 (default 20%).  Clients/sec derives from the **median** per-round
 sample (see :mod:`repro.experiments.timing`), so one noisy round in
 either baseline cannot flip the gate.  Pairs present in only one file
-are reported but never fail the comparison.  Two further one-sided
-gates run against the candidate: the lint warm-cache speedup and the
-batched backend's digits_cnn speedup + digest identity.
+are reported but never fail the comparison.  Further one-sided gates
+run against the candidate: the lint warm-cache speedup, the batched
+backend's digits_cnn speedup + digest identity, and — when ``--scale``
+points at a ``BENCH_scale.json`` from ``tools/bench_scale.py`` — the
+population-scale peak-RSS growth gate (``--max-rss-growth``).
 
 Usage::
 
@@ -147,6 +149,47 @@ def check_lint_speedup(after, min_speedup):
     return [line + (" REGRESSION" if failed else " ok")], failed
 
 
+def check_scale_rss(scale, max_growth):
+    """Gate the population-scale sweep: peak RSS must stay sublinear.
+
+    ``scale`` is a ``BENCH_scale.json`` payload from
+    ``tools/bench_scale.py``: each point records the peak RSS of a
+    fresh process that federated a fixed cohort over one population
+    size.  Every point's RSS must stay within ``max_growth`` times the
+    smallest population's RSS — the store's promise is that pool size
+    costs shard touches, not resident memory, so 100k (or 1M) clients
+    at 10x the 1k-point RSS means O(population) state crept back in.
+
+    Returns (report_lines, failed).
+    """
+    if scale.get("schema") != "repro-bench-scale/v1":
+        raise ValueError(
+            f"not a repro-bench-scale/v1 payload (schema={scale.get('schema')!r})"
+        )
+    points = scale.get("points", {})
+    if len(points) < 2:
+        return [
+            f"  only {len(points)} scale point(s) recorded (skipped)"
+        ], False
+    by_pop = sorted(points.values(), key=lambda p: int(p["population"]))
+    base = by_pop[0]
+    base_rss = float(base["peak_rss_kib"])
+    lines = []
+    failed = False
+    for point in by_pop[1:]:
+        growth = float(point["peak_rss_kib"]) / base_rss
+        bad = growth > max_growth
+        failed = failed or bad
+        lines.append(
+            f"  population {int(point['population']):>9,}: "
+            f"rss {float(point['peak_rss_kib']) / 1024:8.1f} MiB = "
+            f"{growth:5.2f}x the {int(base['population']):,}-client base "
+            f"(max {max_growth:.1f}x)"
+            + (" REGRESSION" if bad else " ok")
+        )
+    return lines, failed
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("before", type=Path, help="baseline BENCH_timing.json")
@@ -173,9 +216,25 @@ def main(argv=None) -> int:
         "baseline predates the batched backend, with identical "
         "history digests (default: 3.0)",
     )
+    parser.add_argument(
+        "--scale",
+        type=Path,
+        default=None,
+        help="candidate BENCH_scale.json from tools/bench_scale.py; "
+        "enables the peak-RSS growth gate",
+    )
+    parser.add_argument(
+        "--max-rss-growth",
+        type=float,
+        default=10.0,
+        help="max tolerated peak-RSS ratio of any scale point over the "
+        "smallest-population point (default: 10.0)",
+    )
     args = parser.parse_args(argv)
     if not 0 <= args.threshold < 1:
         parser.error("--threshold must be in [0, 1)")
+    if args.max_rss_growth < 1:
+        parser.error("--max-rss-growth must be >= 1")
 
     before = json.loads(args.before.read_text())
     after = json.loads(args.after.read_text())
@@ -186,6 +245,12 @@ def main(argv=None) -> int:
     batched_lines, batched_failed = check_batched_speedup(
         before, after, args.min_batched_speedup
     )
+    if args.scale is not None:
+        scale_lines, scale_failed = check_scale_rss(
+            json.loads(args.scale.read_text()), args.max_rss_growth
+        )
+    else:
+        scale_lines, scale_failed = ["  no --scale payload (skipped)"], False
 
     print(f"throughput comparison (threshold {args.threshold:.0%} drop):")
     print("\n".join(lines))
@@ -193,11 +258,14 @@ def main(argv=None) -> int:
     print("\n".join(lint_lines))
     print("batched backend:")
     print("\n".join(batched_lines))
-    if regressions or lint_failed or batched_failed:
+    print("population-scale peak RSS:")
+    print("\n".join(scale_lines))
+    if regressions or lint_failed or batched_failed or scale_failed:
         failures = (
             len(regressions)
             + (1 if lint_failed else 0)
             + (1 if batched_failed else 0)
+            + (1 if scale_failed else 0)
         )
         print(
             f"\nFAIL: {failures} check(s) regressed beyond their threshold"

@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Write the population-scale baseline (``BENCH_scale.json``).
+
+Sweeps the store-backed scale workload of
+:mod:`repro.experiments.scale` over population sizes with a fixed
+active cohort, recording peak RSS and clients/sec per point.  Each
+point runs in a **fresh subprocess**: ``ru_maxrss`` is a
+process-lifetime high-water mark, so measuring two populations in one
+process would let the first point's peak mask the second's.
+
+Usage::
+
+    python tools/bench_scale.py                        # 1k/10k/100k/1M
+    python tools/bench_scale.py --populations 1000 100000
+    python tools/bench_scale.py --rounds 5 --out /tmp/scale.json
+    python tools/bench_compare.py BENCH_timing.json after.json \\
+        --scale BENCH_scale.json --max-rss-growth 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.scale import (  # noqa: E402
+    DEFAULT_POPULATIONS,
+    SCALE_SCHEMA,
+    format_point,
+)
+from repro.utils.atomic_io import atomic_write_text  # noqa: E402
+
+
+def measure_point(
+    population: int, cohort: int, rounds: int, backend: str, seed: int
+) -> dict:
+    """One population point in a fresh interpreter (honest peak RSS)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p
+        for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH"))
+        if p
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.experiments.scale",
+            "--population",
+            str(population),
+            "--cohort",
+            str(cohort),
+            "--rounds",
+            str(rounds),
+            "--backend",
+            backend,
+            "--seed",
+            str(seed),
+            "--json",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"scale point population={population} failed:\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--populations",
+        nargs="+",
+        type=int,
+        default=list(DEFAULT_POPULATIONS),
+        help="population sizes to sweep (default: 1k 10k 100k 1M)",
+    )
+    parser.add_argument(
+        "--cohort",
+        type=int,
+        default=100,
+        help="active clients per round, fixed across the sweep (default: 100)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="rounds per point (default: 3)"
+    )
+    parser.add_argument(
+        "--backend",
+        default="serial",
+        help="execution backend for every point (default: serial)",
+    )
+    parser.add_argument("--seed", type=int, default=31)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_scale.json",
+        help="output path (default: BENCH_scale.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    points = {}
+    for population in sorted(args.populations):
+        point = measure_point(
+            population, args.cohort, args.rounds, args.backend, args.seed
+        )
+        points[str(population)] = point
+        print(format_point(point))
+
+    base_pop = min(int(p) for p in points)
+    base_rss = float(points[str(base_pop)]["peak_rss_kib"])
+    rss_growth = {
+        pop: float(point["peak_rss_kib"]) / base_rss
+        for pop, point in points.items()
+    }
+    payload = {
+        "schema": SCALE_SCHEMA,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "config": {
+            "cohort": args.cohort,
+            "rounds": args.rounds,
+            "backend": args.backend,
+            "seed": args.seed,
+            "base_population": base_pop,
+        },
+        "points": points,
+        "rss_growth": rss_growth,
+    }
+    atomic_write_text(
+        args.out, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    worst = max(rss_growth.values())
+    print(
+        f"peak-RSS growth vs {base_pop:,}-client base: worst "
+        f"{worst:.2f}x across {len(points)} point(s)"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
