@@ -87,12 +87,17 @@ def make_scale_trainer(
     cohort: int,
     backend: str = "serial",
     seed: int = _SCALE_SEED,
+    trace: bool = False,
+    trace_sample: float = 1.0,
+    trace_path: Optional[str] = None,
 ) -> FederatedTrainer:
     """A store-backed federation of ``population`` clients.
 
     Everything except the store's population knob is constant: same
     dataset, same model, same cohort size — so differences across
-    populations isolate what the population model itself costs.
+    populations isolate what the population model itself costs.  The
+    ``trace*`` knobs exist so the sweep can measure what observability
+    itself costs at scale (tracing off vs sampled vs full).
     """
     if cohort > population:
         raise ValueError(
@@ -120,6 +125,9 @@ def make_scale_trainer(
         lr=ConstantLR(0.3),
         eval_every=10**9,
         executor=backend,
+        trace=trace,
+        trace_sample=trace_sample,
+        trace_path=trace_path,
     )
     return FederatedTrainer(
         workspace,
@@ -149,12 +157,23 @@ def run_scale_point(
     rounds: int = 3,
     backend: str = "serial",
     seed: int = _SCALE_SEED,
+    trace: bool = False,
+    trace_sample: float = 1.0,
+    trace_path: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run one population point and measure its cost envelope."""
     if rounds < 1:
         raise ValueError("rounds must be >= 1")
     build_start = perf_counter()
-    trainer = make_scale_trainer(population, cohort, backend=backend, seed=seed)
+    trainer = make_scale_trainer(
+        population,
+        cohort,
+        backend=backend,
+        seed=seed,
+        trace=trace,
+        trace_sample=trace_sample,
+        trace_path=trace_path,
+    )
     build_s = perf_counter() - build_start
     try:
         samples = []
@@ -180,6 +199,10 @@ def run_scale_point(
             "materialized_shards": store.materialized_shards,
             "shard_size": store.shard_size,
             "history_digest": digest,
+            "trace": {
+                "enabled": bool(trainer.tracer.enabled),
+                "sample": trace_sample,
+            },
         }
     finally:
         trainer.close()
@@ -210,6 +233,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--backend", default="serial")
     parser.add_argument("--seed", type=int, default=_SCALE_SEED)
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="run with tracing on, to measure its memory/time overhead",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        help="per-client span sampling rate under --trace (default 1.0)",
+    )
+    parser.add_argument(
+        "--trace-path",
+        default=None,
+        help="stream the trace to this JSONL file (implies --trace)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit the point as machine-readable JSON on stdout",
@@ -221,6 +260,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         rounds=args.rounds,
         backend=args.backend,
         seed=args.seed,
+        trace=args.trace,
+        trace_sample=args.trace_sample,
+        trace_path=args.trace_path,
     )
     if args.json:
         print(json.dumps(point, sort_keys=True))

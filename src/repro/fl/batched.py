@@ -27,6 +27,14 @@ Anything without a batched path — an exotic layer, a custom loss, a
 stateful optimizer — raises
 :class:`~repro.nn.module.BatchedUnsupported` at construction, which the
 executor treats as "use the per-client fallback".
+
+Observability caveat: a cohort's kernel time is attributed *evenly*
+across its members when the executor replays ``client_compute`` spans
+and feeds the round rollup, so per-client compute quantiles are flat
+within a cohort and ``runtime.health.straggler`` findings can only
+surface *between* cohorts (or from fallback singletons) on this
+backend — real per-client timing variance needs the thread/process
+backends.
 """
 
 from __future__ import annotations

@@ -64,6 +64,14 @@ class FLConfig:
     #: With ``trace=True`` and no path, events collect in memory
     #: (``trainer.tracer.memory_events()``).
     trace_path: Optional[str] = None
+    #: Head-sampling rate for per-client spans (``client_compute``,
+    #: ``relevance_check``): the fraction of (round, client) pairs whose
+    #: spans are emitted, decided by a pure hash of
+    #: ``(seed, round, client_index)``.  1.0 (default) keeps every span;
+    #: at population scale set e.g. 0.01 — unsampled clients still feed
+    #: the exact per-round ``round_rollup`` event, and ``trace_digest``
+    #: stays a pure function of the run at any rate.
+    trace_sample: float = 1.0
     #: Directory for periodic run-state checkpoints (see
     #: :mod:`repro.ckpt`); None disables checkpointing.
     checkpoint_dir: Optional[str] = None
@@ -95,6 +103,10 @@ class FLConfig:
             raise ValueError("executor_workers must be >= 0 (0 = cpu count)")
         if self.trace_path is not None and not str(self.trace_path):
             raise ValueError("trace_path must be a non-empty path or None")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ValueError(
+                f"trace_sample must be in [0, 1], got {self.trace_sample}"
+            )
         if self.checkpoint_dir is not None and not str(self.checkpoint_dir):
             raise ValueError("checkpoint_dir must be a non-empty path or None")
         if self.checkpoint_every < 1:

@@ -779,11 +779,20 @@ def _emit_task_span(
     this on the coordinating thread in participant order, so the span
     sequence is deterministic while ``rt`` keeps the real queue wait,
     duration and worker identity.
+
+    Per-client spans are head-sampled (``FLConfig.trace_sample``):
+    every task still feeds the runtime histogram and the round rollup,
+    but only sampled (round, client) pairs emit an individual span.
     """
     if not tracer.enabled:
         return
     queue_wait, dur, worker = timing
     tracer.metrics.histogram("runtime.executor.queue_wait").observe(queue_wait)
+    rollup = tracer.rollup
+    if rollup is not None:
+        rollup.observe_task_rt(client.client_id, dur, queue_wait)
+    if not tracer.span_sampled(plan.iteration, client.client_id):
+        return
     tracer.record_span(
         "client_compute",
         attrs={"iteration": plan.iteration, "client_id": client.client_id},

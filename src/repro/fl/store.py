@@ -461,6 +461,8 @@ class ClientStateStore:
             shard.live[offset] = True
             view._retired = True
             del self._outstanding[index]
+        if self.metrics is not None and views:
+            self.metrics.counter("store.rows_written").inc(len(views))
 
     def record_round(
         self,

@@ -20,6 +20,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.policy import PolicyContext, UploadPolicy
+from repro.core.relevance import relevance_per_segment
 from repro.fl.accounting import CommunicationLedger
 from repro.fl.client import ClientUpdate, FLClient
 from repro.fl.config import FLConfig
@@ -34,7 +35,16 @@ from repro.fl.sampling import ClientSampler, FullParticipation
 from repro.fl.server import FLServer
 from repro.fl.store import ClientStateStore
 from repro.fl.workspace import ModelWorkspace
-from repro.obs import JsonlSink, MemorySink, NULL_TRACER, Tracer
+from repro.nn.serialization import STATUS_MESSAGE_BYTES, update_nbytes
+from repro.obs import (
+    HealthMonitor,
+    JsonlSink,
+    MemorySink,
+    NULL_TRACER,
+    RoundRollup,
+    SpanSampler,
+    Tracer,
+)
 
 __all__ = ["FederatedTrainer"]
 
@@ -118,8 +128,23 @@ class FederatedTrainer:
             self._owns_tracer = True
         else:
             self.tracer = NULL_TRACER
+        # Per-client span head-sampling (a pure (seed, round, client)
+        # hash); the keep-everything rate skips the sampler entirely so
+        # pre-sampling traces stay bit-identical.
+        if self.tracer.enabled and config.trace_sample < 1.0:
+            self.tracer.sampler = SpanSampler(config.seed, config.trace_sample)
         self.ledger = CommunicationLedger(
             n_params=self.server.n_params, metrics=self.tracer.metrics
+        )
+        # Online anomaly checks over the per-round rollups; its small
+        # stall cursor rides in checkpoints (manifest["health"]).
+        self.health: Optional[HealthMonitor] = (
+            HealthMonitor() if self.tracer.enabled else None
+        )
+        # Cumulative per-layer end offsets into the flat parameter
+        # vector, for the rollup's per-layer sign-agreement summary.
+        self._layer_boundaries = list(  # ckpt: transient — derived from the model shape
+            np.cumsum([p.size for p in workspace.model.parameters()])
         )
         self.history = RunHistory(policy_name=policy.name)
         # Client-execution engine: ``executor`` overrides the config's
@@ -162,7 +187,13 @@ class FederatedTrainer:
     def run_round(self, t: int) -> RoundRecord:
         """Execute one synchronous iteration (1-based index ``t``)."""
         with self.tracer.span("round", iteration=t) as round_span:
-            return self._run_round(t, round_span)
+            try:
+                return self._run_round(t, round_span)
+            finally:
+                # The rollup accumulator never outlives its round, even
+                # when the round dies mid-flight.
+                if self.tracer.enabled:
+                    self.tracer.rollup = None
 
     def _run_round(self, t: int, round_span) -> RoundRecord:
         lr = self.config.lr(t)
@@ -189,6 +220,13 @@ class FederatedTrainer:
             batch_size=self.config.batch_size,
             global_params=global_params,
         )
+        # One rollup per round: executors feed wall-clock task timings
+        # for every participant (sampled or not), the decide loop below
+        # feeds the deterministic decision stream.
+        rollup: Optional[RoundRollup] = None
+        if self.tracer.enabled:
+            rollup = RoundRollup(t)
+            self.tracer.rollup = rollup
         results = self.executor.run_round(plan, participants)
 
         # Decide/aggregate half: a strictly ordered reduction.  One
@@ -206,8 +244,12 @@ class FederatedTrainer:
         threshold = 0.0
         with self.tracer.span("decide", iteration=t):
             for client, result in zip(participants, results):
-                with self.tracer.span(
-                    "relevance_check", iteration=t, client_id=client.client_id
+                with self.tracer.sampled_span(
+                    "relevance_check",
+                    t,
+                    client.client_id,
+                    iteration=t,
+                    client_id=client.client_id,
                 ) as check_span:
                     if self.config.check_finite:
                         _ensure_finite(
@@ -224,6 +266,12 @@ class FederatedTrainer:
                     self.on_decision(result, decision)
                 scores.append(decision.score)
                 losses.append(result.train_loss)
+                if rollup is not None:
+                    rollup.observe_decision(
+                        float(decision.score),
+                        float(result.train_loss),
+                        bool(decision.upload),
+                    )
                 threshold = decision.threshold
                 if decision.upload:
                     uploads.append(result)
@@ -242,6 +290,9 @@ class FederatedTrainer:
                     "force_best",
                     attrs={"iteration": t, "client_id": forced.client_id},
                 )
+                if rollup is not None:
+                    rollup.n_uploaded += 1
+                    rollup.n_forced += 1
         round_span.set_attr("n_uploaded", len(uploads))
 
         with self.tracer.span("aggregate", iteration=t, n_uploads=len(uploads)):
@@ -251,6 +302,21 @@ class FederatedTrainer:
             self.ledger.record_round(
                 [u.client_id for u in uploads], [s.client_id for s in skipped]
             )
+
+        if rollup is not None:
+            # Mirror the ledger's per-round byte arithmetic exactly, so
+            # the health monitor's drift check is meaningful.
+            rollup.uploaded_bytes = len(uploads) * update_nbytes(
+                self.server.n_params
+            )
+            rollup.status_bytes = len(skipped) * STATUS_MESSAGE_BYTES
+            if aggregate is not None and feedback is not None:
+                rollup.layer_sign_agreement = [
+                    float(v)
+                    for v in relevance_per_segment(
+                        aggregate, feedback, self._layer_boundaries
+                    )
+                ]
 
         if self.store is not None:
             # Account participation into the shard stats and capture
@@ -266,6 +332,8 @@ class FederatedTrainer:
                 ),
             )
             self.store.writeback(participants)
+            if rollup is not None:
+                rollup.extra["store"] = {"population": self.store.population}
 
         record = RoundRecord(
             iteration=t,
@@ -287,6 +355,29 @@ class FederatedTrainer:
                 )
                 eval_span.set_attr("test_loss", record.test_loss)
                 eval_span.set_attr("test_metric", record.test_metric)
+        if rollup is not None:
+            rollup_attrs = rollup.attrs()
+            rollup_rt = rollup.rt()
+            self.tracer.event("round_rollup", attrs=rollup_attrs, rt=rollup_rt)
+            self.tracer.rollup = None
+            if self.health is not None:
+                metrics = self.tracer.metrics
+                counter_bytes = None
+                if "comm.uploaded_bytes" in metrics:
+                    counter_bytes = (
+                        metrics.counter("comm.uploaded_bytes").value
+                        + metrics.counter("comm.status_bytes").value
+                    )
+                for name, attrs, rt in self.health.observe_round(
+                    rollup_attrs,
+                    rollup_rt,
+                    test_metric=record.test_metric,
+                    test_loss=record.test_loss,
+                    mean_train_loss=record.mean_train_loss,
+                    ledger_total_bytes=self.ledger.total_bytes,
+                    counter_total_bytes=counter_bytes,
+                ):
+                    self.tracer.event(name, attrs=attrs, rt=rt)
         self.history.append(record)
         return record
 

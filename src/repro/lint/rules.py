@@ -10,13 +10,14 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.engine import LintRule
 
 __all__ = [
     "AllExportsRule",
     "ExplicitDtypeRule",
+    "MetricNameRegistryRule",
     "NoBareArtifactWriteRule",
     "NoGlobalRngRule",
     "NoParamMutationRule",
@@ -865,6 +866,95 @@ def _module_bindings(statements: Sequence[ast.stmt]) -> Set[str]:
     return bound
 
 
+class MetricNameRegistryRule(LintRule):
+    """Metric names must be literals declared in ``repro.obs.names``.
+
+    A typo'd ``metrics.counter("comm.uplaods")`` silently opens a
+    separate time series — no error, just missing data in every report
+    built on the real name.  Requiring each ``counter``/``gauge``/
+    ``histogram`` call to pass a string literal declared in the central
+    registry turns that into a lint failure.  Name families with a
+    data-driven suffix (the emulator's per-``MessageKind`` counters)
+    are declared as prefixes; call sites may build those with an
+    f-string whose literal head starts with a registered prefix.
+    """
+
+    name = "metric-name-registry"
+    description = (
+        "counter()/gauge()/histogram() names must be string literals "
+        "declared in repro.obs.names (f-strings allowed for registered "
+        "prefix families)"
+    )
+
+    #: Attribute names whose receiver looks like a metrics registry.
+    INSTRUMENTS = frozenset({"counter", "gauge", "histogram"})
+    RECEIVERS = frozenset({"metrics", "registry"})
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        # Lazy import: keeps repro.lint importable without repro.obs on
+        # the path (both are stdlib-only; this is layering hygiene).
+        from repro.obs.names import METRIC_NAMES, METRIC_PREFIXES
+
+        self._names = METRIC_NAMES | set(
+            self.settings.option("extra_names", ())
+        )
+        self._prefixes = tuple(METRIC_PREFIXES) + tuple(
+            self.settings.option("extra_prefixes", ())
+        )
+
+    def _is_registered(self, name: str) -> bool:
+        return name in self._names or any(
+            name.startswith(prefix) for prefix in self._prefixes
+        )
+
+    def _receiver_is_registry(self, func: ast.Attribute) -> bool:
+        parts = dotted_parts(func.value)
+        return bool(parts) and parts[-1] in self.RECEIVERS
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in self.INSTRUMENTS
+            and self._receiver_is_registry(func)
+            and node.args
+        ):
+            self._check_name(node, node.args[0], func.attr)
+        self.generic_visit(node)
+
+    def _check_name(
+        self, node: ast.Call, arg: ast.expr, instrument: str
+    ) -> None:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if not self._is_registered(arg.value):
+                self.report(
+                    node,
+                    f"metric name {arg.value!r} is not declared in "
+                    "repro.obs.names; add it to METRIC_NAMES (or a "
+                    "prefix family) so reports can rely on the registry",
+                )
+            return
+        if isinstance(arg, ast.JoinedStr):
+            head = ""
+            if arg.values and isinstance(arg.values[0], ast.Constant):
+                head = str(arg.values[0].value)
+            if not any(head.startswith(p) for p in self._prefixes):
+                self.report(
+                    node,
+                    f"f-string metric name must start with a prefix "
+                    f"declared in repro.obs.names.METRIC_PREFIXES "
+                    f"(literal head is {head!r})",
+                )
+            return
+        self.report(
+            node,
+            f"{instrument}() name must be a string literal (or an "
+            "f-string over a registered prefix family), not a computed "
+            "expression — the registry cannot vouch for runtime names",
+        )
+
+
 DEFAULT_RULES: Tuple[type, ...] = (
     NoGlobalRngRule,
     ExplicitDtypeRule,
@@ -875,4 +965,5 @@ DEFAULT_RULES: Tuple[type, ...] = (
     NoWallclockSeedRule,
     UnusedPureResultRule,
     AllExportsRule,
+    MetricNameRegistryRule,
 )

@@ -7,6 +7,16 @@ monotonic-clock durations, a :class:`MetricsRegistry` streams counters,
 gauges and histograms, and pluggable sinks persist the event stream
 (in-memory, JSON-lines, human-readable summary).
 
+Built to stay constant-memory at population scale: per-client spans are
+head-sampled (:class:`SpanSampler`, rate ``FLConfig.trace_sample``)
+with the unsampled remainder folded into exact per-round
+``round_rollup`` events (:class:`RoundRollup`, quantiles via the P²
+sketch in :class:`StreamingHistogram`); a :class:`HealthMonitor`
+consumes the rollups online and flags stalls, dead cohorts, comm-ledger
+drift and stragglers.  Final metric values export as OpenMetrics text
+or JSONL snapshots (:mod:`repro.obs.export`); metric names are declared
+centrally in :mod:`repro.obs.names`.
+
 The central invariant is the *determinism contract*: event ordering and
 payloads are a pure function of the run, identical across the
 serial/thread/process execution backends; every wall-clock or
@@ -16,9 +26,23 @@ and the ``runtime.*`` metric namespace, which
 :mod:`repro.obs.tracer` for the schema and DESIGN.md §6c for the full
 contract.
 
-Render or diff a trace file with ``python -m repro.obs``.
+Render, diff, export or live-watch a trace file with
+``python -m repro.obs``.
 """
 
+from repro.obs.export import (
+    EXPORT_SCHEMA,
+    metrics_from_trace,
+    openmetrics_name,
+    to_jsonl_snapshot,
+    to_openmetrics,
+)
+from repro.obs.health import (
+    HealthMonitor,
+    health_events,
+    health_summary,
+    render_dashboard,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -26,6 +50,13 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
     RUNTIME_PREFIX,
+)
+from repro.obs.names import METRIC_NAMES, METRIC_PREFIXES, is_registered
+from repro.obs.rollup import (
+    P2Quantile,
+    RoundRollup,
+    SpanSampler,
+    StreamingHistogram,
 )
 from repro.obs.sinks import (
     JsonlSink,
@@ -42,6 +73,7 @@ from repro.obs.report import (
     format_report,
     load_trace,
     phase_summary,
+    rollup_rows,
     round_rows,
     trace_digest,
     trace_to_timing_payload,
@@ -50,11 +82,19 @@ from repro.obs.report import (
 
 __all__ = [
     "Counter",
+    "EXPORT_SCHEMA",
     "Gauge",
+    "HealthMonitor",
     "Histogram",
+    "METRIC_NAMES",
+    "METRIC_PREFIXES",
     "MetricsRegistry",
     "NullMetricsRegistry",
+    "P2Quantile",
     "RUNTIME_PREFIX",
+    "RoundRollup",
+    "SpanSampler",
+    "StreamingHistogram",
     "JsonlSink",
     "MemorySink",
     "SummarySink",
@@ -68,9 +108,18 @@ __all__ = [
     "deterministic_view",
     "diff_traces",
     "format_report",
+    "health_events",
+    "health_summary",
+    "is_registered",
     "load_trace",
+    "metrics_from_trace",
+    "openmetrics_name",
     "phase_summary",
+    "render_dashboard",
+    "rollup_rows",
     "round_rows",
+    "to_jsonl_snapshot",
+    "to_openmetrics",
     "trace_digest",
     "trace_to_timing_payload",
     "truncate_trace",

@@ -1,22 +1,34 @@
-"""``python -m repro.obs`` — render, validate, digest and diff traces.
+"""``python -m repro.obs`` — render, validate, export and watch traces.
 
     python -m repro.obs report trace.jsonl [--history run.jsonl]
     python -m repro.obs validate trace.jsonl
     python -m repro.obs digest trace.jsonl
     python -m repro.obs diff a.jsonl b.jsonl
+    python -m repro.obs export trace.jsonl [--format openmetrics|jsonl]
+    python -m repro.obs watch trace.jsonl [--follow] [--interval 2.0]
 
 ``report`` prints the per-phase time/bytes breakdown; ``diff`` compares
 two traces under the deterministic view (timestamps and other runtime
-data masked) and exits non-zero when the runs diverged.
+data masked) and exits non-zero when the runs diverged.  ``export``
+writes the trace's final metric values as OpenMetrics text (or a JSONL
+snapshot); ``watch`` renders the live health dashboard, re-reading the
+growing trace file under ``--follow``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.obs.export import (
+    metrics_from_trace,
+    to_jsonl_snapshot,
+    to_openmetrics,
+)
+from repro.obs.health import render_dashboard
 from repro.obs.report import (
     diff_traces,
     format_report,
@@ -57,7 +69,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff.add_argument("a", type=Path)
     diff.add_argument("b", type=Path)
+
+    export = sub.add_parser(
+        "export", help="final metric values as OpenMetrics text or JSONL"
+    )
+    export.add_argument("trace", type=Path)
+    export.add_argument(
+        "--format",
+        choices=("openmetrics", "jsonl"),
+        default="openmetrics",
+        help="output format (default: openmetrics)",
+    )
+    export.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write to this file instead of stdout",
+    )
+
+    watch = sub.add_parser(
+        "watch", help="ASCII health dashboard over a (growing) trace"
+    )
+    watch.add_argument("trace", type=Path)
+    watch.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep re-reading the trace until interrupted",
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes under --follow (default: 2)",
+    )
     return parser
+
+
+def _run_export(args: argparse.Namespace) -> int:
+    metrics = metrics_from_trace(load_trace(args.trace))
+    render = to_openmetrics if args.format == "openmetrics" else (
+        to_jsonl_snapshot
+    )
+    text = render(metrics)
+    if args.out is None:
+        sys.stdout.write(text)
+    else:
+        args.out.write_text(text, encoding="utf-8")
+    return 0
+
+
+def _load_loose(path: Path):
+    """Like load_trace, but a half-written tail (a live run mid-write)
+    is skipped instead of failing the whole refresh."""
+    import json
+
+    events = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                break
+    return events
+
+
+def _run_watch(args: argparse.Namespace) -> int:
+    while True:
+        events = _load_loose(args.trace)
+        print(f"== {args.trace} — {len(events)} events ==")
+        print(render_dashboard(events))
+        if not args.follow:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -91,6 +180,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 return 1
             print("traces are equivalent modulo runtime data")
             return 0
+        if args.command == "export":
+            return _run_export(args)
+        if args.command == "watch":
+            return _run_watch(args)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

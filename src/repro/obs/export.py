@@ -1,0 +1,141 @@
+"""Export metrics in standard forms: OpenMetrics text and JSONL.
+
+A ``repro-trace/v1`` file (or a live :class:`~repro.obs.metrics.
+MetricsRegistry` snapshot) carries the run's ``comm.*``/``emu.*``/
+``store.*``/``runtime.*`` instruments; this module writes them out so
+they can leave the process in a form other tooling understands:
+
+* :func:`to_openmetrics` — the OpenMetrics text exposition format
+  (Prometheus-compatible): counters as ``<name>_total``, gauges as
+  bare samples, histogram summaries as ``quantile``-labelled samples
+  plus ``_count``/``_sum``, terminated by ``# EOF``.
+* :func:`to_jsonl_snapshot` — one JSON object per metric after a
+  schema header line (``repro-metrics/v1``), for machine diffing.
+
+``python -m repro.obs export trace.jsonl`` is the CLI entry point.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = [
+    "EXPORT_SCHEMA",
+    "metrics_from_trace",
+    "openmetrics_name",
+    "to_jsonl_snapshot",
+    "to_openmetrics",
+]
+
+EXPORT_SCHEMA = "repro-metrics/v1"
+
+#: OpenMetrics metric names: letters, digits, underscores and colons.
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def openmetrics_name(name: str) -> str:
+    """Sanitize a dotted registry name (``comm.uploads`` ->
+    ``comm_uploads``) into the OpenMetrics charset."""
+    sanitized = _NAME_BAD_CHARS.sub("_", name)
+    if not sanitized or not _NAME_OK.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def metrics_from_trace(
+    events: Iterable[Dict[str, Any]],
+) -> Dict[str, Dict[str, Any]]:
+    """Reconstruct the final metric summaries from a trace.
+
+    Prefers the close-time ``metrics_snapshot`` event (complete,
+    including histogram quantiles); a trace without one — a killed or
+    still-running run — falls back to folding the streamed ``metric``
+    events, which recovers the latest counter/gauge values (histograms
+    do not stream per observation and are absent on that path).
+    """
+    snapshot: Optional[Dict[str, Any]] = None
+    folded: Dict[str, Dict[str, Any]] = {}
+    for event in events:
+        kind = event.get("kind")
+        if kind == "point" and event.get("name") == "metrics_snapshot":
+            snapshot = dict(event.get("attrs", {}).get("metrics", {}))
+            snapshot.update(event.get("rt", {}).get("metrics", {}))
+        elif kind == "metric":
+            attrs = dict(event.get("attrs", {}))
+            metric_type = attrs.pop("type", "gauge")
+            fields = {
+                k: v
+                for k, v in {**event.get("rt", {}), **attrs}.items()
+                if k != "ts"
+            }
+            fields["type"] = metric_type
+            folded[str(event["name"])] = fields
+    return snapshot if snapshot is not None else folded
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def to_openmetrics(metrics: Dict[str, Dict[str, Any]]) -> str:
+    """Render final metric summaries as OpenMetrics exposition text.
+
+    ``metrics`` maps registry names to summary dicts (the shape of
+    :meth:`MetricsRegistry.snapshot` / :func:`metrics_from_trace`).
+    Families are name-sorted; the output always ends with ``# EOF``.
+    """
+    lines: List[str] = []
+    for name in sorted(metrics):
+        summary = metrics[name]
+        om_name = openmetrics_name(name)
+        metric_type = str(summary.get("type", "gauge"))
+        if metric_type == "counter":
+            lines.append(f"# TYPE {om_name} counter")
+            value = summary.get("value")
+            if value is not None:
+                lines.append(f"{om_name}_total {_format_value(value)}")
+        elif metric_type == "histogram":
+            # Quantile sketches map onto the OpenMetrics summary type.
+            lines.append(f"# TYPE {om_name} summary")
+            for key in sorted(summary):
+                if not key.startswith("p") or not key[1:].isdigit():
+                    continue
+                if summary[key] is None:
+                    continue
+                quantile = int(key[1:]) / 100
+                lines.append(
+                    f'{om_name}{{quantile="{quantile:g}"}} '
+                    f"{_format_value(summary[key])}"
+                )
+            lines.append(f"{om_name}_count {int(summary.get('count', 0))}")
+            lines.append(
+                f"{om_name}_sum {_format_value(summary.get('total', 0.0))}"
+            )
+        else:
+            lines.append(f"# TYPE {om_name} gauge")
+            value = summary.get("value")
+            if value is not None:
+                lines.append(f"{om_name} {_format_value(value)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def to_jsonl_snapshot(metrics: Dict[str, Dict[str, Any]]) -> str:
+    """One JSON object per metric, after a schema header line."""
+    lines = [json.dumps({"schema": EXPORT_SCHEMA}, sort_keys=True)]
+    for name in sorted(metrics):
+        entry = {"name": name}
+        entry.update(
+            {k: v for k, v in metrics[name].items() if k != "state"}
+        )
+        lines.append(
+            json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        )
+    return "\n".join(lines) + "\n"

@@ -1,9 +1,19 @@
 """Counters, gauges and histograms for the observability layer.
 
-A :class:`MetricsRegistry` is a named collection of instruments.  Every
-update is (optionally) streamed as a ``metric`` event through the
-owning tracer's sinks, so a trace file carries the full metric history,
-not just final values.
+A :class:`MetricsRegistry` is a named collection of instruments.
+Counter and gauge updates are (optionally) streamed as ``metric``
+events through the owning tracer's sinks, so a trace file carries the
+full metric history, not just final values.  Histograms are the
+exception: one event per observation would make the trace itself
+O(population·rounds) on population-scale runs, so a histogram keeps a
+constant-memory streaming summary (exact count/total/min/max plus P²
+p50/p90/p99 — see :class:`repro.obs.rollup.StreamingHistogram`) and
+surfaces it in the close-time ``metrics_snapshot`` event and the
+per-round ``round_rollup`` events instead.
+
+Metric names are not free-form: every call-site literal must be
+declared in the :mod:`repro.obs.names` registry (the
+``metric-name-registry`` lint rule enforces it).
 
 Determinism contract (see :mod:`repro.obs.tracer`): a metric whose name
 starts with ``runtime.`` is *runtime-dependent* — its values (queue
@@ -18,6 +28,8 @@ wire) must be bitwise-deterministic.
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional
+
+from repro.obs.rollup import StreamingHistogram
 
 __all__ = [
     "Counter",
@@ -95,38 +107,59 @@ class Gauge(_Instrument):
 
 
 class Histogram(_Instrument):
-    """Streaming count/sum/min/max over observed values (queue waits)."""
+    """Bounded streaming summary over observed values (queue waits).
+
+    Constant memory at any observation count: exact count/total/min/
+    max plus P² quantile sketches (p50/p90/p99).  Deliberately does
+    *not* stream a metric event per observation — see the module
+    docstring; the summary reaches the trace through the close-time
+    snapshot and the per-round rollups.
+    """
 
     metric_type = "histogram"
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("_sketch",)
 
     def __init__(self, name: str, emit: Optional[EmitFn] = None) -> None:
         super().__init__(name, emit)
-        self.count = 0
-        self.total = 0.0
-        self.min: Optional[float] = None
-        self.max: Optional[float] = None
+        self._sketch = StreamingHistogram()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-        self._stream({"value": value})
+        self._sketch.observe(value)
+
+    @property
+    def count(self) -> int:
+        return self._sketch.count
+
+    @property
+    def total(self) -> float:
+        return self._sketch.total
+
+    @property
+    def min(self) -> Optional[float]:
+        return self._sketch.min
+
+    @property
+    def max(self) -> Optional[float]:
+        return self._sketch.max
 
     @property
     def mean(self) -> Optional[float]:
-        return self.total / self.count if self.count else None
+        return self._sketch.mean
+
+    def quantile(self, p: float) -> Optional[float]:
+        return self._sketch.quantile(p)
 
     def summary(self) -> Dict[str, Any]:
-        return {
-            "type": self.metric_type,
-            "count": self.count,
-            "total": self.total,
-            "min": self.min,
-            "max": self.max,
-            "mean": self.mean,
-        }
+        out: Dict[str, Any] = {"type": self.metric_type}
+        out.update(self._sketch.summary())
+        return out
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Exact sketch state, for bitwise checkpoint resume."""
+        return self._sketch.state_dict()
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._sketch.load_state_dict(state)
 
 
 class MetricsRegistry:
@@ -183,8 +216,20 @@ class MetricsRegistry:
         }
 
     def export_state(self) -> Dict[str, Dict]:
-        """Serialisable snapshot of every instrument, for checkpoints."""
-        return self.snapshot(runtime=None)
+        """Serialisable snapshot of every instrument, for checkpoints.
+
+        Histograms additionally carry their exact sketch state (the P²
+        marker arrays) under ``state``, so a resumed run's quantile
+        estimators continue the original observation sequence bitwise.
+        """
+        out: Dict[str, Dict] = {}
+        for name, metric in sorted(self._metrics.items()):
+            entry = metric.summary()
+            if isinstance(metric, Histogram):
+                entry = dict(entry)
+                entry["state"] = metric.state_dict()
+            out[name] = entry
+        return out
 
     def restore(self, state: Dict[str, Dict]) -> None:
         """Reinstate instruments from :meth:`export_state` output.
@@ -206,10 +251,7 @@ class MetricsRegistry:
                 )
             instrument = self._get(name, cls)
             if cls is Histogram:
-                instrument.count = int(summary["count"])
-                instrument.total = float(summary["total"])
-                instrument.min = summary["min"]
-                instrument.max = summary["max"]
+                instrument.load_state_dict(summary["state"])
             else:
                 instrument.value = summary["value"]
 

@@ -15,6 +15,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
 
+from repro.obs.health import health_summary
 from repro.obs.metrics import RUNTIME_PREFIX
 from repro.obs.tracer import TRACE_SCHEMA
 from repro.utils.tables import format_table
@@ -26,6 +27,7 @@ __all__ = [
     "format_report",
     "load_trace",
     "phase_summary",
+    "rollup_rows",
     "round_rows",
     "trace_digest",
     "trace_to_timing_payload",
@@ -252,6 +254,35 @@ def round_rows(
     return ordered
 
 
+def rollup_rows(events: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """One flat row per ``round_rollup`` event, for tables.
+
+    Pulls the headline numbers out of the nested summaries: cohort and
+    upload counts plus the p50s of relevance score, train loss and
+    (runtime side) client compute time.
+    """
+    rows: List[Dict[str, Any]] = []
+    for event in events:
+        if event.get("name") != "round_rollup":
+            continue
+        attrs = event.get("attrs", {})
+        compute = event.get("rt", {}).get("compute_s", {})
+        rows.append(
+            {
+                "iteration": attrs.get("iteration"),
+                "n_participants": attrs.get("n_participants"),
+                "n_uploaded": attrs.get("n_uploaded"),
+                "n_forced": attrs.get("n_forced"),
+                "uploaded_bytes": attrs.get("uploaded_bytes"),
+                "score_p50": attrs.get("score", {}).get("p50"),
+                "train_loss_p50": attrs.get("train_loss", {}).get("p50"),
+                "compute_p50_s": compute.get("p50"),
+                "compute_max_s": compute.get("max"),
+            }
+        )
+    return rows
+
+
 def format_report(
     events: List[Dict[str, Any]],
     history: Optional[Iterable] = None,
@@ -299,6 +330,25 @@ def format_report(
                 ["metric", "total"],
                 [[name, value] for name, value in sorted(totals.items())],
                 title="communication totals",
+            )
+        )
+    rollups = rollup_rows(events)
+    if rollups:
+        keys = list(rollups[0].keys())
+        parts.append(
+            format_table(
+                keys,
+                [[row.get(k, "") for k in keys] for row in rollups],
+                title="per-round rollups",
+            )
+        )
+    findings = health_summary(events)
+    if findings:
+        parts.append(
+            format_table(
+                ["finding", "events"],
+                [[name, count] for name, count in findings.items()],
+                title="health findings",
             )
         )
     errors = [e for e in events if e.get("kind") == "point"

@@ -4,7 +4,8 @@ Sinks receive finished event dicts (see :mod:`repro.obs.tracer` for the
 schema) in emission order.  Three are shipped:
 
 * :class:`MemorySink` — keeps events in a list (tests, in-process
-  inspection);
+  inspection); ``max_events`` bounds retention to a recent-events ring
+  for long runs;
 * :class:`JsonlSink` — one JSON object per line, opened lazily so an
   enabled-but-never-used tracer creates no file;
 * :class:`SummarySink` — accumulates per-phase aggregates and writes a
@@ -18,8 +19,9 @@ from __future__ import annotations
 
 import json
 import sys
+from collections import deque
 from pathlib import Path
-from typing import Any, Dict, List, Optional, TextIO, Union
+from typing import Any, Deque, Dict, List, Optional, TextIO, Union
 
 from repro.utils.atomic_io import atomic_write, fsync_file
 from repro.utils.tables import format_table
@@ -64,10 +66,25 @@ class TraceSink:
 
 
 class MemorySink(TraceSink):
-    """Collects events in-process; the default sink for tests."""
+    """Collects events in-process; the default sink for tests.
 
-    def __init__(self) -> None:
-        self.events: List[Dict[str, Any]] = []
+    Unbounded by default — fine for short runs and tests, but on a
+    population-scale run the event list itself becomes
+    O(population·rounds).  ``max_events`` caps retention: the sink then
+    keeps only the most recent N events (a ``collections.deque`` ring;
+    oldest dropped first), trading history for constant memory.  Use a
+    :class:`JsonlSink` when the *full* stream must survive a long run.
+    """
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError(
+                f"max_events must be >= 1 or None, got {max_events}"
+            )
+        self.max_events = max_events
+        self.events: Union[List[Dict[str, Any]], Deque[Dict[str, Any]]] = (
+            [] if max_events is None else deque(maxlen=max_events)
+        )
 
     def emit(self, event: Dict[str, Any]) -> None:
         self.events.append(event)

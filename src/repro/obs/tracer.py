@@ -12,6 +12,15 @@ hierarchy::
           relevance_check x N        (participant order)
         aggregate
         evaluate                     (rounds that evaluate)
+        round_rollup                 (one summary event per round)
+        health.*                     (run health findings, if any)
+
+At scale the per-client spans (``client_compute``, ``relevance_check``)
+are *head-sampled*: a :class:`~repro.obs.rollup.SpanSampler` keeps a
+deterministic subset (a pure hash of seed/round/client index, rate
+``FLConfig.trace_sample``) and the unsampled remainder is folded into
+the exact per-round ``round_rollup`` event, so traces stay bounded
+without breaking the determinism contract.
 
 Event schema (one JSON object per line in a ``.jsonl`` trace)::
 
@@ -45,6 +54,7 @@ from time import monotonic
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.obs.rollup import RoundRollup, SpanSampler
 from repro.obs.sinks import MemorySink, TraceSink
 
 __all__ = [
@@ -118,6 +128,15 @@ class Tracer:
         self.sinks: List[TraceSink] = list(sinks or ())  # ckpt: transient — live I/O handles
         self.clock = clock
         self.metrics = MetricsRegistry(emit=self._metric_event)
+        # Head-sampling policy for per-client spans; None keeps every
+        # span.  A pure (seed, round, client_index) hash — the trainer
+        # re-derives it from the config, so it never rides in a
+        # checkpoint.
+        self.sampler: Optional[SpanSampler] = None  # ckpt: transient — config-derived pure hash
+        # The current round's rollup accumulator, attached by the
+        # trainer for the duration of one round so executors can feed
+        # per-task runtime data; always None at round boundaries.
+        self.rollup: Optional[RoundRollup] = None  # ckpt: transient — intra-round scratch
         self._seq = 0
         self._next_id = 1
         self._stack: List[Span] = []
@@ -140,6 +159,32 @@ class Tracer:
 
     def span(self, name: str, **attrs: Any) -> Span:
         """A new span; enter it (``with tracer.span(...)``) to start."""
+        return Span(self, name, attrs)
+
+    def span_sampled(self, iteration: int, client_index: int) -> bool:
+        """Head-sampling decision for a per-client span.
+
+        True when the configured :class:`SpanSampler` keeps
+        ``(iteration, client_index)`` — or when no sampler is set (the
+        keep-everything default).  The decision is a pure hash, so it
+        is identical on every execution backend and across resumes.
+        """
+        sampler = self.sampler
+        return sampler is None or sampler.sampled(iteration, client_index)
+
+    def sampled_span(
+        self, name: str, iteration: int, client_index: int, /, **attrs: Any
+    ) -> Any:
+        """Like :meth:`span`, but subject to per-client head sampling.
+
+        The first three parameters are positional-only so ``attrs`` may
+        legitimately carry ``iteration=``/``client_id=`` keys.  Returns
+        a shared no-op span for unsampled clients: the caller's
+        ``with`` body still runs (and still feeds the round rollup);
+        only the span event is suppressed.
+        """
+        if not self.span_sampled(iteration, client_index):
+            return _NULL_SPAN
         return Span(self, name, attrs)
 
     def record_span(
@@ -364,8 +409,18 @@ class NullTracer:
 
     enabled = False
     metrics = _NULL_METRICS
+    sampler = None
+    rollup = None
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def span_sampled(self, iteration: int, client_index: int) -> bool:
+        return False
+
+    def sampled_span(
+        self, name: str, iteration: int, client_index: int, /, **attrs: Any
+    ) -> _NullSpan:
         return _NULL_SPAN
 
     def record_span(self, name, attrs=None, rt=None) -> None:

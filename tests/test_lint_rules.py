@@ -9,6 +9,7 @@ from repro.lint import LintConfig, Linter
 from repro.lint.rules import (
     AllExportsRule,
     ExplicitDtypeRule,
+    MetricNameRegistryRule,
     NoGlobalRngRule,
     NoParamMutationRule,
     NoPrintInLibraryRule,
@@ -578,6 +579,111 @@ class TestNoPrintInLibrary:
         ) == []
 
 
+class TestMetricNameRegistry:
+    def test_registered_literal_is_clean(self):
+        source = """\
+            def record(metrics, n):
+                metrics.counter("comm.uploads").inc(n)
+                metrics.gauge("store.shards_materialized").set(n)
+                metrics.histogram("runtime.executor.queue_wait").observe(n)
+        """
+        assert rules_fired(source, MetricNameRegistryRule) == []
+
+    def test_unregistered_literal_fires_per_call(self):
+        source = """\
+            def record(metrics):
+                metrics.counter("comm.uplaods").inc()
+                metrics.gauge("totally.new").set(1)
+        """
+        assert rules_fired(source, MetricNameRegistryRule) == [
+            "metric-name-registry",
+            "metric-name-registry",
+        ]
+
+    def test_fstring_with_registered_prefix_head_is_clean(self):
+        source = """\
+            def account(metrics, kind, total):
+                metrics.counter(f"emu.messages.{kind}").inc()
+                metrics.counter(f"emu.bytes.{kind}").inc(total)
+        """
+        assert rules_fired(source, MetricNameRegistryRule) == []
+
+    def test_fstring_without_registered_head_fires(self):
+        source = """\
+            def account(metrics, kind):
+                metrics.counter(f"mesh.{kind}").inc()
+        """
+        assert rules_fired(source, MetricNameRegistryRule) == [
+            "metric-name-registry"
+        ]
+
+    def test_dynamic_name_expression_fires(self):
+        source = """\
+            def record(metrics, name):
+                metrics.counter(name).inc()
+                metrics.counter("comm." + name).inc()
+        """
+        assert rules_fired(source, MetricNameRegistryRule) == [
+            "metric-name-registry",
+            "metric-name-registry",
+        ]
+
+    def test_non_registry_receivers_are_ignored(self):
+        source = """\
+            def tally(ballot, collections):
+                ballot.counter("precinct.42").inc()
+                collections.Counter("anything")
+        """
+        assert rules_fired(source, MetricNameRegistryRule) == []
+
+    def test_registry_receiver_spellings(self):
+        source = """\
+            def wire(self, registry):
+                self.metrics.counter("bogus.one").inc()
+                registry.histogram("bogus.two").observe(1.0)
+        """
+        assert rules_fired(source, MetricNameRegistryRule) == [
+            "metric-name-registry",
+            "metric-name-registry",
+        ]
+
+    def test_extra_names_and_prefixes_options(self):
+        source = """\
+            def record(metrics, kind):
+                metrics.counter("plugin.hits").inc()
+                metrics.counter(f"plugin.by_kind.{kind}").inc()
+        """
+        config = LintConfig(
+            rules={
+                "metric-name-registry": {
+                    "extra_names": ["plugin.hits"],
+                    "extra_prefixes": ["plugin.by_kind."],
+                }
+            }
+        )
+        assert rules_fired(
+            source, MetricNameRegistryRule, config=config
+        ) == []
+        assert rules_fired(source, MetricNameRegistryRule) == [
+            "metric-name-registry",
+            "metric-name-registry",
+        ]
+
+    def test_suppression_comment(self):
+        source = """\
+            def record(metrics):
+                metrics.counter("scratch.probe").inc()  # repro-lint: disable=metric-name-registry
+        """
+        assert rules_fired(source, MetricNameRegistryRule) == []
+
+    def test_sweep_clean_on_whole_tree(self):
+        # The empty-baseline satellite: every instrument call in the
+        # shipped tree uses a registered name.
+        root = Path(__file__).resolve().parent.parent / "src" / "repro"
+        linter = Linter(rules=[MetricNameRegistryRule])
+        assert linter.lint_paths([str(root)]) == []
+
+
 class TestAgainstRealTree:
     """The shipped tree is the ultimate fixture: rules run clean on it."""
 
@@ -586,6 +692,7 @@ class TestAgainstRealTree:
         [
             NoGlobalRngRule,
             ExplicitDtypeRule,
+            MetricNameRegistryRule,
             NoParamMutationRule,
             NoPrintInLibraryRule,
             NoSequentialClientLoopRule,

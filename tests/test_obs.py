@@ -207,10 +207,10 @@ class TestNullTracer:
             FLConfig(trace_path="")
 
 
-def _traced_events(backend):
+def _traced_events(backend, **cfg_kw):
     trainer, _ = _federation(
         CMFLPolicy(InverseSqrtThreshold(0.8)), backend=backend,
-        rounds=3, trace=True,
+        rounds=3, trace=True, **cfg_kw,
     )
     with trainer:
         trainer.run()
@@ -283,6 +283,81 @@ class TestDeterminismContract:
         assert phases["client_compute"]["count"] == n_rounds * n_clients
         assert phases["relevance_check"]["count"] == n_rounds * n_clients
         assert phases["run"]["count"] == 1
+
+
+class TestSampledTracing:
+    """Head sampling must thin spans without touching determinism."""
+
+    def test_sampling_drops_spans_but_keeps_exact_rollups(self):
+        trainer, full = _traced_events("serial")
+        sampled_trainer, sampled = _traced_events("serial", trace_sample=0.25)
+        n_rounds = len(trainer.history)
+        n_clients = len(trainer.clients)
+
+        def compute_spans(events):
+            return [
+                e for e in events
+                if e["kind"] == "span" and e["name"] == "client_compute"
+            ]
+
+        assert len(compute_spans(full)) == n_rounds * n_clients
+        assert len(compute_spans(sampled)) < n_rounds * n_clients
+        rollups = [e for e in sampled if e["name"] == "round_rollup"]
+        assert len(rollups) == n_rounds
+        # The rollup is exact over ALL participants, sampled or not.
+        for event in rollups:
+            assert event["attrs"]["n_participants"] == n_clients
+            assert event["attrs"]["score"]["count"] == n_clients
+            assert event["rt"]["compute_s"]["count"] == n_clients
+        # Rollups are identical whether spans were sampled or not.
+        full_rollups = [e for e in full if e["name"] == "round_rollup"]
+        assert [e["attrs"] for e in rollups] == [
+            e["attrs"] for e in full_rollups
+        ]
+
+    def test_sampled_digests_identical_across_backends(self):
+        digests = set()
+        for backend in EXECUTOR_BACKENDS:
+            trainer, events = _traced_events(backend, trace_sample=0.5)
+            assert validate_trace(events) == []
+            digests.add(trace_digest(events))
+        assert len(digests) == 1
+
+    def test_store_backed_sampled_digests_match(self):
+        from repro.experiments.scale import make_scale_trainer
+
+        digests = set()
+        for backend in ("serial", "thread", "batched"):
+            trainer = make_scale_trainer(
+                500, 20, backend=backend, trace=True, trace_sample=0.5
+            )
+            with trainer:
+                trainer.run(2)
+            trainer.tracer.close()
+            events = trainer.tracer.memory_events()
+            assert validate_trace(events) == []
+            digests.add(trace_digest(events))
+        assert len(digests) == 1
+
+    def test_tracing_never_changes_the_run(self):
+        from repro.experiments.scale import make_scale_trainer
+        from repro.experiments.timing import history_digest
+
+        digests = set()
+        for trace, sample in ((False, 1.0), (True, 0.01), (True, 1.0)):
+            trainer = make_scale_trainer(
+                500, 20, trace=trace, trace_sample=sample
+            )
+            with trainer:
+                trainer.run(2)
+            digests.add(history_digest(trainer))
+        assert len(digests) == 1
+
+    def test_sample_rate_validated(self):
+        with pytest.raises(ValueError, match="trace_sample"):
+            FLConfig(trace_sample=1.5)
+        with pytest.raises(ValueError, match="trace_sample"):
+            FLConfig(trace_sample=-0.1)
 
 
 class TestClientExecutionError:

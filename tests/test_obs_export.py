@@ -1,0 +1,196 @@
+"""Metrics export (OpenMetrics/JSONL) and the CLI's behavior on
+damaged traces."""
+
+import json
+
+import pytest
+
+from repro.core.policy import CMFLPolicy
+from repro.core.thresholds import InverseSqrtThreshold
+from repro.obs import (
+    EXPORT_SCHEMA,
+    MemorySink,
+    Tracer,
+    diff_traces,
+    load_trace,
+    metrics_from_trace,
+    openmetrics_name,
+    to_jsonl_snapshot,
+    to_openmetrics,
+)
+from repro.obs.__main__ import main as obs_main
+from tests.test_executor import _federation
+
+
+def _traced_metrics():
+    sink = MemorySink()
+    tracer = Tracer(sinks=[sink])
+    tracer.metrics.counter("comm.uploads").inc(7)
+    tracer.metrics.gauge("store.shards_materialized").set(3)
+    hist = tracer.metrics.histogram("runtime.executor.queue_wait")
+    for v in (0.01, 0.02, 0.03, 0.04):
+        hist.observe(v)
+    tracer.close()
+    return sink.events
+
+
+def _parse_openmetrics(text):
+    """A minimal OpenMetrics exposition parser: types + samples."""
+    assert text.endswith("# EOF\n")
+    types, samples = {}, {}
+    for line in text.splitlines():
+        if line == "# EOF":
+            break
+        if line.startswith("# TYPE "):
+            _, _, name, metric_type = line.split(" ")
+            types[name] = metric_type
+            continue
+        name_and_labels, value = line.rsplit(" ", 1)
+        samples[name_and_labels] = float(value)
+    return types, samples
+
+
+class TestOpenMetrics:
+    def test_name_sanitization(self):
+        assert openmetrics_name("comm.uploaded_bytes") == "comm_uploaded_bytes"
+        assert openmetrics_name("emu.bytes.UPDATE") == "emu_bytes_UPDATE"
+        assert openmetrics_name("9lives") == "_9lives"
+
+    def test_exposition_covers_all_metric_types(self):
+        metrics = metrics_from_trace(_traced_metrics())
+        types, samples = _parse_openmetrics(to_openmetrics(metrics))
+        assert types["comm_uploads"] == "counter"
+        assert samples["comm_uploads_total"] == 7
+        assert types["store_shards_materialized"] == "gauge"
+        assert samples["store_shards_materialized"] == 3
+        # Histogram sketches export as the OpenMetrics summary type.
+        assert types["runtime_executor_queue_wait"] == "summary"
+        assert samples["runtime_executor_queue_wait_count"] == 4
+        assert samples["runtime_executor_queue_wait_sum"] == pytest.approx(
+            0.1
+        )
+        assert samples['runtime_executor_queue_wait{quantile="0.5"}'] == (
+            pytest.approx(0.025)
+        )
+
+    def test_families_are_name_sorted(self):
+        metrics = metrics_from_trace(_traced_metrics())
+        text = to_openmetrics(metrics)
+        family_lines = [
+            line for line in text.splitlines() if line.startswith("# TYPE")
+        ]
+        assert family_lines == sorted(family_lines)
+
+
+class TestJsonlSnapshot:
+    def test_schema_header_and_one_object_per_metric(self):
+        metrics = metrics_from_trace(_traced_metrics())
+        lines = to_jsonl_snapshot(metrics).splitlines()
+        assert json.loads(lines[0]) == {"schema": EXPORT_SCHEMA}
+        parsed = [json.loads(line) for line in lines[1:]]
+        assert [p["name"] for p in parsed] == sorted(metrics)
+        by_name = {p["name"]: p for p in parsed}
+        assert by_name["comm.uploads"]["value"] == 7
+        assert by_name["comm.uploads"]["type"] == "counter"
+        # Internal resume-state never leaks into the export.
+        assert all("state" not in p for p in parsed)
+
+
+class TestMetricsFromTrace:
+    def test_prefers_the_close_time_snapshot(self):
+        metrics = metrics_from_trace(_traced_metrics())
+        assert metrics["comm.uploads"]["value"] == 7
+        # Histogram quantiles only exist via the snapshot path.
+        assert metrics["runtime.executor.queue_wait"]["p50"] is not None
+
+    def test_falls_back_to_streamed_metric_events(self):
+        # A killed run: drop the close-time snapshot.
+        events = [
+            e
+            for e in _traced_metrics()
+            if e.get("name") != "metrics_snapshot"
+        ]
+        metrics = metrics_from_trace(events)
+        assert metrics["comm.uploads"]["value"] == 7
+        assert metrics["comm.uploads"]["type"] == "counter"
+        # Histograms do not stream per observation.
+        assert "runtime.executor.queue_wait" not in metrics
+
+
+def _write_trace(tmp_path, name="trace.jsonl", rounds=2):
+    trainer, _ = _federation(
+        CMFLPolicy(InverseSqrtThreshold(0.8)),
+        rounds=rounds,
+        trace_path=str(tmp_path / name),
+    )
+    with trainer:
+        trainer.run()
+    trainer.tracer.close()
+    return tmp_path / name
+
+
+class TestExportCli:
+    def test_export_openmetrics_to_stdout(self, tmp_path, capsys):
+        trace = _write_trace(tmp_path)
+        assert obs_main(["export", str(trace)]) == 0
+        out = capsys.readouterr().out
+        types, samples = _parse_openmetrics(out)
+        assert types["comm_uploads"] == "counter"
+        assert "comm_uploaded_bytes_total" in samples
+
+    def test_export_jsonl_to_file(self, tmp_path):
+        trace = _write_trace(tmp_path)
+        out = tmp_path / "metrics.jsonl"
+        assert obs_main(
+            ["export", str(trace), "--format", "jsonl", "--out", str(out)]
+        ) == 0
+        lines = out.read_text().splitlines()
+        assert json.loads(lines[0]) == {"schema": EXPORT_SCHEMA}
+
+    def test_export_missing_file_exits_2(self, tmp_path, capsys):
+        assert obs_main(["export", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDamagedTraces:
+    """`diff` (and friends) on truncated / corrupted JSONL files."""
+
+    def test_diff_identical_traces_is_clean(self, tmp_path, capsys):
+        a = _write_trace(tmp_path, "a.jsonl")
+        b = _write_trace(tmp_path, "b.jsonl")
+        assert obs_main(["diff", str(a), str(b)]) == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_diff_truncated_trace_reports_divergence(self, tmp_path, capsys):
+        a = _write_trace(tmp_path, "a.jsonl")
+        b = tmp_path / "truncated.jsonl"
+        lines = a.read_text().splitlines(keepends=True)
+        # Whole-line truncation: a run killed between writes.  Every
+        # line parses, so the diff itself must flag the missing tail.
+        b.write_text("".join(lines[:-5]))
+        assert obs_main(["diff", str(a), str(b)]) == 1
+        assert capsys.readouterr().out  # names the diverging events
+        differences = diff_traces(load_trace(a), load_trace(b))
+        assert differences
+
+    def test_diff_mid_line_corruption_exits_2(self, tmp_path, capsys):
+        a = _write_trace(tmp_path, "a.jsonl")
+        b = tmp_path / "corrupt.jsonl"
+        lines = a.read_text().splitlines(keepends=True)
+        middle = len(lines) // 2
+        # Chop a line in half: a crash mid-write (no trailing newline
+        # flush).  The loader must name the bad line, not guess.
+        lines[middle] = lines[middle][: len(lines[middle]) // 2]
+        b.write_text("".join(lines))
+        assert obs_main(["diff", str(a), str(b)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_validate_truncated_trace_flags_missing_close(
+        self, tmp_path, capsys
+    ):
+        a = _write_trace(tmp_path, "a.jsonl")
+        b = tmp_path / "truncated.jsonl"
+        lines = a.read_text().splitlines(keepends=True)
+        b.write_text("".join(lines[:-5]))
+        # Truncation is detectable but not a parse error.
+        assert obs_main(["digest", str(b)]) == 0

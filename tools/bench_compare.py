@@ -11,7 +11,11 @@ are reported but never fail the comparison.  Further one-sided gates
 run against the candidate: the lint warm-cache speedup, the batched
 backend's digits_cnn speedup + digest identity, and — when ``--scale``
 points at a ``BENCH_scale.json`` from ``tools/bench_scale.py`` — the
-population-scale peak-RSS growth gate (``--max-rss-growth``).
+population-scale peak-RSS growth gate (``--max-rss-growth``) plus the
+traced-vs-untraced peak-RSS ratio (``--max-traced-rss``).  The
+observability tax is gated one-sided as well: head-sampled tracing
+must cost no more than ``--max-obs-overhead`` clients/sec vs tracing
+off, with bitwise-identical history digests across all modes.
 
 Usage::
 
@@ -149,6 +153,77 @@ def check_lint_speedup(after, min_speedup):
     return [line + (" REGRESSION" if failed else " ok")], failed
 
 
+def check_obs_overhead(after, max_overhead):
+    """Gate the observability tax: sampled tracing must stay cheap.
+
+    The ``obs_overhead`` micro (see
+    :func:`repro.experiments.timing.time_obs_overhead`) runs the same
+    store-backed population workload with tracing off, head-sampled,
+    and full, and records the clients/sec cost of each traced mode
+    relative to off.  The **sampled** mode is the one meant for
+    production-scale runs, so it is the one gated: its overhead must
+    not exceed ``max_overhead`` (default 5%).  Full tracing is
+    reported but never gated — it is the debugging mode and priced
+    accordingly.  Digest identity across all three modes is enforced
+    too: observability must never change the run it observes.
+
+    Returns (report_lines, failed).  A payload without the micro
+    (older baseline) passes — only the candidate is gated.
+    """
+    obs = after.get("micro", {}).get("obs_overhead")
+    if obs is None:
+        return ["  obs_overhead micro entry absent in AFTER (skipped)"], False
+    modes = obs["modes"]
+    sampled = float(modes["sampled"]["overhead_vs_off"])
+    full = float(modes["full"]["overhead_vs_off"])
+    identical = bool(obs["identical_histories"])
+    failed = sampled > max_overhead or not identical
+    line = (
+        f"  obs overhead ({int(obs['population']):,} pop): "
+        f"sampled {sampled:+.1%} (max {max_overhead:+.1%}), "
+        f"full {full:+.1%} (ungated); histories "
+        f"{'identical' if identical else 'DIFFER'}"
+    )
+    return [line + (" REGRESSION" if failed else " ok")], failed
+
+
+def check_traced_rss(scale, max_ratio):
+    """Gate tracing's memory footprint at population scale.
+
+    Points in ``BENCH_scale.json`` that carry a
+    ``peak_rss_traced_kib`` column (a traced re-run of the same point
+    in its own fresh process) must stay within ``max_ratio`` times the
+    tracing-off RSS of that point.  The rollup/sampling design's whole
+    claim is constant-memory observability, so a traced 100k-client
+    run at 2x the untraced RSS means per-client retention crept back
+    in.
+
+    Returns (report_lines, failed).  Points without the column (older
+    sweep) are skipped.
+    """
+    points = scale.get("points", {})
+    traced = [
+        p for p in points.values() if p.get("peak_rss_traced_kib") is not None
+    ]
+    if not traced:
+        return ["  no traced-RSS columns in scale payload (skipped)"], False
+    lines = []
+    failed = False
+    for point in sorted(traced, key=lambda p: int(p["population"])):
+        ratio = float(point["peak_rss_traced_kib"]) / float(
+            point["peak_rss_kib"]
+        )
+        bad = ratio > max_ratio
+        failed = failed or bad
+        lines.append(
+            f"  population {int(point['population']):>9,}: traced rss "
+            f"{float(point['peak_rss_traced_kib']) / 1024:8.1f} MiB = "
+            f"{ratio:5.2f}x tracing-off (max {max_ratio:.1f}x)"
+            + (" REGRESSION" if bad else " ok")
+        )
+    return lines, failed
+
+
 def check_scale_rss(scale, max_growth):
     """Gate the population-scale sweep: peak RSS must stay sublinear.
 
@@ -230,11 +305,30 @@ def main(argv=None) -> int:
         help="max tolerated peak-RSS ratio of any scale point over the "
         "smallest-population point (default: 10.0)",
     )
+    parser.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=0.05,
+        help="max tolerated clients/sec cost of head-sampled tracing "
+        "relative to tracing off, from the obs_overhead micro "
+        "(default: 0.05)",
+    )
+    parser.add_argument(
+        "--max-traced-rss",
+        type=float,
+        default=2.0,
+        help="max tolerated peak-RSS ratio of a traced scale point over "
+        "its tracing-off twin (default: 2.0)",
+    )
     args = parser.parse_args(argv)
     if not 0 <= args.threshold < 1:
         parser.error("--threshold must be in [0, 1)")
     if args.max_rss_growth < 1:
         parser.error("--max-rss-growth must be >= 1")
+    if args.max_obs_overhead < 0:
+        parser.error("--max-obs-overhead must be >= 0")
+    if args.max_traced_rss < 1:
+        parser.error("--max-traced-rss must be >= 1")
 
     before = json.loads(args.before.read_text())
     after = json.loads(args.after.read_text())
@@ -245,12 +339,18 @@ def main(argv=None) -> int:
     batched_lines, batched_failed = check_batched_speedup(
         before, after, args.min_batched_speedup
     )
+    obs_lines, obs_failed = check_obs_overhead(after, args.max_obs_overhead)
     if args.scale is not None:
+        scale_payload = json.loads(args.scale.read_text())
         scale_lines, scale_failed = check_scale_rss(
-            json.loads(args.scale.read_text()), args.max_rss_growth
+            scale_payload, args.max_rss_growth
+        )
+        traced_lines, traced_failed = check_traced_rss(
+            scale_payload, args.max_traced_rss
         )
     else:
         scale_lines, scale_failed = ["  no --scale payload (skipped)"], False
+        traced_lines, traced_failed = ["  no --scale payload (skipped)"], False
 
     print(f"throughput comparison (threshold {args.threshold:.0%} drop):")
     print("\n".join(lines))
@@ -258,14 +358,27 @@ def main(argv=None) -> int:
     print("\n".join(lint_lines))
     print("batched backend:")
     print("\n".join(batched_lines))
+    print("observability overhead:")
+    print("\n".join(obs_lines))
     print("population-scale peak RSS:")
     print("\n".join(scale_lines))
-    if regressions or lint_failed or batched_failed or scale_failed:
+    print("population-scale traced RSS:")
+    print("\n".join(traced_lines))
+    if (
+        regressions
+        or lint_failed
+        or batched_failed
+        or obs_failed
+        or scale_failed
+        or traced_failed
+    ):
         failures = (
             len(regressions)
             + (1 if lint_failed else 0)
             + (1 if batched_failed else 0)
+            + (1 if obs_failed else 0)
             + (1 if scale_failed else 0)
+            + (1 if traced_failed else 0)
         )
         print(
             f"\nFAIL: {failures} check(s) regressed beyond their threshold"

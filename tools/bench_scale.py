@@ -6,7 +6,11 @@ Sweeps the store-backed scale workload of
 active cohort, recording peak RSS and clients/sec per point.  Each
 point runs in a **fresh subprocess**: ``ru_maxrss`` is a
 process-lifetime high-water mark, so measuring two populations in one
-process would let the first point's peak mask the second's.
+process would let the first point's peak mask the second's.  Each
+point also gets a traced twin (head-sampled tracing at
+``--trace-sample``, again in its own process) whose peak RSS lands in
+the ``peak_rss_traced_kib`` column — the input to
+``bench_compare.py --max-traced-rss``.
 
 Usage::
 
@@ -39,36 +43,43 @@ from repro.utils.atomic_io import atomic_write_text  # noqa: E402
 
 
 def measure_point(
-    population: int, cohort: int, rounds: int, backend: str, seed: int
+    population: int,
+    cohort: int,
+    rounds: int,
+    backend: str,
+    seed: int,
+    trace_sample: float = 0.0,
 ) -> dict:
-    """One population point in a fresh interpreter (honest peak RSS)."""
+    """One population point in a fresh interpreter (honest peak RSS).
+
+    ``trace_sample > 0`` re-runs the same point with head-sampled
+    tracing on, to price observability's memory footprint.
+    """
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p
         for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH"))
         if p
     )
-    proc = subprocess.run(
-        [
-            sys.executable,
-            "-m",
-            "repro.experiments.scale",
-            "--population",
-            str(population),
-            "--cohort",
-            str(cohort),
-            "--rounds",
-            str(rounds),
-            "--backend",
-            backend,
-            "--seed",
-            str(seed),
-            "--json",
-        ],
-        capture_output=True,
-        text=True,
-        env=env,
-    )
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.experiments.scale",
+        "--population",
+        str(population),
+        "--cohort",
+        str(cohort),
+        "--rounds",
+        str(rounds),
+        "--backend",
+        backend,
+        "--seed",
+        str(seed),
+        "--json",
+    ]
+    if trace_sample > 0:
+        argv += ["--trace", "--trace-sample", str(trace_sample)]
+    proc = subprocess.run(argv, capture_output=True, text=True, env=env)
     if proc.returncode != 0:
         raise RuntimeError(
             f"scale point population={population} failed:\n{proc.stderr}"
@@ -101,6 +112,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=31)
     parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.01,
+        help="span-sampling rate for the traced twin of each point; "
+        "0 disables the traced re-runs (default: 0.01)",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=REPO_ROOT / "BENCH_scale.json",
@@ -113,6 +131,19 @@ def main(argv=None) -> int:
         point = measure_point(
             population, args.cohort, args.rounds, args.backend, args.seed
         )
+        if args.trace_sample > 0:
+            # The traced twin gets its own fresh process so its
+            # ru_maxrss is honest too; only the RSS column is kept.
+            traced = measure_point(
+                population,
+                args.cohort,
+                args.rounds,
+                args.backend,
+                args.seed,
+                trace_sample=args.trace_sample,
+            )
+            point["peak_rss_traced_kib"] = traced["peak_rss_kib"]
+            point["trace"] = traced["trace"]
         points[str(population)] = point
         print(format_point(point))
 
@@ -146,6 +177,16 @@ def main(argv=None) -> int:
         f"peak-RSS growth vs {base_pop:,}-client base: worst "
         f"{worst:.2f}x across {len(points)} point(s)"
     )
+    traced_ratios = [
+        float(p["peak_rss_traced_kib"]) / float(p["peak_rss_kib"])
+        for p in points.values()
+        if p.get("peak_rss_traced_kib") is not None
+    ]
+    if traced_ratios:
+        print(
+            f"traced-RSS ratio (sample {args.trace_sample}): worst "
+            f"{max(traced_ratios):.2f}x tracing off"
+        )
     print(f"wrote {args.out}")
     return 0
 

@@ -10,6 +10,11 @@ Usage::
     python tools/trace_report.py trace.jsonl
     python tools/trace_report.py trace.jsonl --history run.jsonl
     python tools/trace_report.py trace.jsonl --bench-json /tmp/traced.json
+    python tools/trace_report.py trace.jsonl --dashboard
+
+The report includes per-round rollup and ``health.*`` finding tables
+when the trace carries them; ``--dashboard`` appends the same ASCII
+dashboard that ``python -m repro.obs watch`` renders live.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.obs import (  # noqa: E402
     format_report,
     load_trace,
+    render_dashboard,
     trace_to_timing_payload,
     validate_trace,
 )
@@ -46,6 +52,12 @@ def main(argv=None) -> int:
         help="also write the trace as a repro-bench-timing/v1 payload "
         "(input for tools/bench_compare.py)",
     )
+    parser.add_argument(
+        "--dashboard",
+        action="store_true",
+        help="also render the rollup/health dashboard "
+        "(the one-shot form of `python -m repro.obs watch`)",
+    )
     args = parser.parse_args(argv)
 
     events = load_trace(args.trace)
@@ -61,6 +73,10 @@ def main(argv=None) -> int:
 
         history = RunHistory.from_jsonl(args.history)
     print(format_report(events, history=history))
+
+    if args.dashboard:
+        print()
+        print(render_dashboard(events))
 
     if args.bench_json is not None:
         payload = trace_to_timing_payload(events)
