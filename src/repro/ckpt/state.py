@@ -120,6 +120,16 @@ def capture_run_state(
         for key, value in trainer.store.state_arrays().items():
             arrays[f"store/{key}"] = value
 
+    # A trainer driven by the async engine (repro.fl.events) carries
+    # its timeline — virtual clock, event queue, in-flight rounds'
+    # computed results — under ``manifest["async"]`` / ``async/*``
+    # arrays; AsyncFederatedTrainer.restore reads them back.
+    engine = getattr(trainer, "async_engine", None)
+    if engine is not None:
+        async_manifest, async_arrays = engine.export_state()
+        manifest["async"] = async_manifest
+        arrays.update(async_arrays)
+
     texts = {HISTORY_MEMBER: trainer.history.to_jsonl()}
     return manifest, arrays, texts
 

@@ -1,0 +1,145 @@
+"""Client-side event-triggered upload rules.
+
+The asynchronous engine (:mod:`repro.fl.events`) lets a client decide
+*locally* whether a freshly computed update is worth shipping — the
+server never sees the suppressed ones.  An :class:`UploadTrigger` is
+that rule: a **pure function** of the update and its
+:class:`~repro.core.policy.PolicyContext` (no mutable state, no RNG),
+so the decision is identical on every execution backend, across
+resumes, and under any event ordering.
+
+Three rules ship:
+
+- :class:`AlwaysUpload` — the vanilla-FL baseline, every update ships;
+- :class:`RelevanceTrigger` — CMFL's sign-alignment relevance against
+  the broadcast feedback (exactly :func:`repro.core.relevance.relevance`
+  against a scheduled threshold, the paper's CheckRelevance);
+- :class:`NormTrigger` — an event-triggered-SAGA-style magnitude rule
+  (arXiv:2402.18018): ship when the update's l2 norm clears a decaying
+  band, suppressing the small late-training deltas.
+
+:class:`TriggerPolicy` adapts any trigger to the synchronous trainer's
+:class:`~repro.core.policy.UploadPolicy` interface, so the same rule
+drives both engines and the bitwise S=0 equivalence tests can compare
+them directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policy import PolicyContext, UploadDecision, UploadPolicy
+from repro.core.relevance import relevance
+from repro.core.thresholds import ThresholdSchedule
+
+__all__ = [
+    "AlwaysUpload",
+    "NormTrigger",
+    "RelevanceTrigger",
+    "TriggerPolicy",
+    "UploadTrigger",
+]
+
+
+class UploadTrigger:
+    """Interface: judge one local update, purely.
+
+    :meth:`check` must be a pure function of ``(update, ctx)`` — the
+    property tests in ``tests/test_trigger_properties.py`` hold every
+    implementation to it.  Triggers therefore carry only constructor
+    constants and need no checkpoint state.
+    """
+
+    name = "trigger"
+
+    def check(self, update: np.ndarray, ctx: PolicyContext) -> UploadDecision:
+        raise NotImplementedError
+
+
+class AlwaysUpload(UploadTrigger):
+    """Every update ships — the vanilla-FL baseline.
+
+    Score is defined as 1.0 against a 0.0 threshold so histories built
+    on this trigger still carry meaningful ``mean_score`` columns.
+    """
+
+    name = "always"
+
+    def check(self, update: np.ndarray, ctx: PolicyContext) -> UploadDecision:
+        del update, ctx
+        return UploadDecision(upload=True, score=1.0, threshold=0.0)
+
+
+class RelevanceTrigger(UploadTrigger):
+    """CMFL's relevance rule as a trigger: ship iff e(u, u_bar) >= v_t.
+
+    The score is *exactly* :func:`repro.core.relevance.relevance`
+    (including the zero-feedback rule: with no tendency to compare
+    against, everything is fully relevant), so this trigger agrees with
+    :class:`~repro.core.policy.CMFLPolicy` decision-for-decision.
+    """
+
+    name = "relevance"
+
+    def __init__(self, threshold: ThresholdSchedule) -> None:
+        self.threshold = threshold  # ckpt: transient — schedule rebuilt from config
+
+    def check(self, update: np.ndarray, ctx: PolicyContext) -> UploadDecision:
+        score = relevance(
+            update, ctx.global_update_estimate, u_bar_sign=ctx.feedback_sign
+        )
+        v_t = min(1.0, self.threshold(ctx.iteration))
+        return UploadDecision(upload=score >= v_t, score=score, threshold=v_t)
+
+    def __repr__(self) -> str:
+        return f"RelevanceTrigger(threshold={self.threshold!r})"
+
+
+class NormTrigger(UploadTrigger):
+    """Event-triggered-SAGA-style magnitude rule.
+
+    Ship when ``||u||_2 >= scale / (1 + t) ** decay``: early rounds
+    (large updates) pass easily, and as training converges only the
+    still-informative large deltas clear the shrinking band.  The band
+    is a pure function of the iteration — the stateless analogue of the
+    ET-SAGA "change since last communication" test, chosen so the
+    decision needs no per-client memory.
+    """
+
+    name = "norm"
+
+    def __init__(self, scale: float = 1.0, decay: float = 0.5) -> None:
+        if scale <= 0.0:
+            raise ValueError(f"scale must be > 0, got {scale}")
+        if decay < 0.0:
+            raise ValueError(f"decay must be >= 0, got {decay}")
+        self.scale = float(scale)  # ckpt: transient — constructor constant
+        self.decay = float(decay)  # ckpt: transient — constructor constant
+
+    def check(self, update: np.ndarray, ctx: PolicyContext) -> UploadDecision:
+        u = np.asarray(update, dtype=float).reshape(-1)
+        score = float(np.linalg.norm(u))
+        v_t = self.scale / (1.0 + ctx.iteration) ** self.decay
+        return UploadDecision(upload=score >= v_t, score=score, threshold=v_t)
+
+    def __repr__(self) -> str:
+        return f"NormTrigger(scale={self.scale}, decay={self.decay})"
+
+
+class TriggerPolicy(UploadPolicy):
+    """An :class:`UploadTrigger` behind the :class:`UploadPolicy` interface.
+
+    Lets one rule drive both the synchronous trainer and the async
+    engine — the S=0 bitwise-equivalence contract compares exactly
+    this pairing.  Triggers are pure, so the policy is stateless.
+    """
+
+    def __init__(self, trigger: UploadTrigger) -> None:
+        self.trigger = trigger  # ckpt: transient — pure rule, rebuilt from config
+        self.name = trigger.name
+
+    def decide(self, update: np.ndarray, ctx: PolicyContext) -> UploadDecision:
+        return self.trigger.check(update, ctx)
+
+    def __repr__(self) -> str:
+        return f"TriggerPolicy({self.trigger!r})"

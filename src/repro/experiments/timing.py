@@ -63,6 +63,7 @@ __all__ = [
     "make_digits_timing_trainer",
     "make_linear_timing_trainer",
     "run_timing",
+    "time_async_vs_sync",
     "time_backend",
     "time_batched_kernels",
     "time_checkpoint",
@@ -487,6 +488,77 @@ def time_obs_overhead(
     }
 
 
+def time_async_vs_sync(rounds: int = 8) -> Dict[str, object]:
+    """The async event engine vs the synchronous loop it wraps.
+
+    Three runs of the linear federation: the plain synchronous trainer,
+    its S=0 async twin (which must produce the **identical** history
+    digest — the engine's sync-equivalence contract, gated by
+    ``tools/bench_compare.py --check-async-digest``), and an S=2
+    bounded-staleness run with stragglers, for which events/sec and the
+    staleness spread (p50/p99) are recorded.
+    """
+    from repro.fl.events import AsyncConfig, AsyncFederatedTrainer
+
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    sync_trainer = make_linear_timing_trainer()
+    try:
+        start = perf_counter()
+        sync_trainer.run(rounds)
+        sync_s = perf_counter() - start
+        sync_digest = history_digest(sync_trainer)
+    finally:
+        sync_trainer.close()
+
+    equiv = AsyncFederatedTrainer(
+        make_linear_timing_trainer(), async_config=AsyncConfig()
+    )
+    try:
+        start = perf_counter()
+        equiv.run(rounds)
+        equiv_s = perf_counter() - start
+        equiv_digest = history_digest(equiv.trainer)
+    finally:
+        equiv.close()
+
+    stale = AsyncFederatedTrainer(
+        make_linear_timing_trainer(),
+        async_config=AsyncConfig(staleness_bound=2, speed_sigma=1.0),
+    )
+    try:
+        start = perf_counter()
+        stale.run(rounds)
+        stale_s = perf_counter() - start
+        staleness = stale.history.staleness()
+        # Every processed event: one dispatch per round plus one
+        # arrival per surviving upload.
+        n_events = rounds + int(
+            sum(r.n_clients for r in stale.history)
+        )
+    finally:
+        stale.close()
+
+    return {
+        "rounds": rounds,
+        "sync_sec_per_round": sync_s / rounds,
+        "async_s0_sec_per_round": equiv_s / rounds,
+        "overhead_vs_sync": equiv_s / sync_s - 1.0,
+        "sync_digest": sync_digest,
+        "async_s0_digest": equiv_digest,
+        "identical": equiv_digest == sync_digest,
+        "stale": {
+            "staleness_bound": 2,
+            "sec_per_round": stale_s / rounds,
+            "n_events": n_events,
+            "events_per_sec": n_events / stale_s,
+            "staleness_p50": float(np.percentile(staleness, 50)),
+            "staleness_p99": float(np.percentile(staleness, 99)),
+            "staleness_max": int(staleness.max()),
+        },
+    }
+
+
 def run_timing(
     backends: Sequence[str] = DEFAULT_BACKENDS,
     workers: int = 4,
@@ -515,6 +587,7 @@ def run_timing(
             "checkpoint": time_checkpoint(),
             "lint": time_lint(),
             "obs_overhead": time_obs_overhead(),
+            "async_vs_sync": time_async_vs_sync(),
         },
     }
     for workload in workloads:
@@ -595,6 +668,18 @@ def format_report(payload: Dict[str, object]) -> str:
             f"whole-program lint ({lint['files']} files): "
             f"cold {lint['cold_s']:.2f} s, warm {lint['warm_s']:.2f} s "
             f"-> {lint['speedup']:.1f}x"
+        )
+    avs = payload["micro"].get("async_vs_sync")
+    if avs:
+        stale = avs["stale"]
+        lines.append(
+            f"async engine (linear, {avs['rounds']} rounds): "
+            f"S=0 overhead {avs['overhead_vs_sync'] * 100:+.1f}% vs sync, "
+            f"digest identical: {avs['identical']}; "
+            f"S={stale['staleness_bound']}: "
+            f"{stale['events_per_sec']:.0f} events/s, "
+            f"staleness p50 {stale['staleness_p50']:.1f} / "
+            f"p99 {stale['staleness_p99']:.1f}"
         )
     obs = payload["micro"].get("obs_overhead")
     if obs:

@@ -35,6 +35,8 @@ class CommunicationLedger:
     skips_per_client: Dict[int, int] = field(default_factory=dict)
     uploads_per_client: Dict[int, int] = field(default_factory=dict)
     rounds_per_iteration: List[int] = field(default_factory=list)
+    staleness_total: int = 0
+    staleness_max: int = 0
     metrics: Optional[MetricsRegistry] = field(  # ckpt: transient — live registry binding
         default=None, repr=False, compare=False
     )
@@ -43,9 +45,23 @@ class CommunicationLedger:
         if self.n_params < 1:
             raise ValueError("n_params must be >= 1")
 
-    def record_round(self, uploaded_ids: List[int], skipped_ids: List[int]) -> None:
-        """Account one synchronous iteration's traffic."""
+    def record_round(
+        self,
+        uploaded_ids: List[int],
+        skipped_ids: List[int],
+        staleness: int = 0,
+    ) -> None:
+        """Account one iteration's traffic.
+
+        ``staleness`` is the round's aggregation staleness (0 under the
+        synchronous trainer); the ledger keeps the running total and
+        maximum so byte accounting and staleness accounting travel
+        together through checkpoints.
+        """
         r_t = len(uploaded_ids)
+        self.staleness_total += int(staleness)
+        if staleness > self.staleness_max:
+            self.staleness_max = int(staleness)
         self.accumulated_rounds += r_t
         self.rounds_per_iteration.append(r_t)
         upload_bytes = r_t * update_nbytes(self.n_params)
@@ -89,6 +105,8 @@ class CommunicationLedger:
                 str(k): v for k, v in self.uploads_per_client.items()
             },
             "rounds_per_iteration": list(self.rounds_per_iteration),
+            "staleness_total": self.staleness_total,
+            "staleness_max": self.staleness_max,
         }
 
     def load_state_dict(self, state: Dict[str, Any]) -> None:
@@ -111,3 +129,7 @@ class CommunicationLedger:
         self.rounds_per_iteration = [
             int(r) for r in state["rounds_per_iteration"]
         ]
+        # .get: snapshots written before the async engine carry no
+        # staleness keys; those runs were synchronous, so zeros.
+        self.staleness_total = int(state.get("staleness_total", 0))
+        self.staleness_max = int(state.get("staleness_max", 0))

@@ -7,7 +7,35 @@ from typing import Optional
 
 from repro.nn.schedules import ConstantLR, LRSchedule
 
-__all__ = ["EMPTY_ROUND_MODES", "EXECUTOR_BACKENDS", "FLConfig"]
+__all__ = ["ConfigError", "EMPTY_ROUND_MODES", "EXECUTOR_BACKENDS", "FLConfig"]
+
+
+class ConfigError(ValueError):
+    """A structured configuration rejection.
+
+    Raised when two individually valid knobs are incompatible (e.g. a
+    :class:`~repro.fl.store.ClientStateStore` with the process
+    executor).  Beyond the message, carries machine-readable fields so
+    tooling and tests can assert on the *constraint* instead of
+    string-matching prose:
+
+    - ``constraint``: short kebab-case name of the violated rule;
+    - ``supported``: the values that would have been accepted.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    call sites keep working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        constraint: Optional[str] = None,
+        supported: tuple = (),
+    ) -> None:
+        super().__init__(message)
+        self.constraint = constraint
+        self.supported = tuple(supported)
 
 #: Client-execution backends (see :mod:`repro.fl.executor`):
 #: "serial"  -- one shared workspace, clients run back to back;

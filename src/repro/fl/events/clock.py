@@ -1,0 +1,42 @@
+"""The engine's virtual clock.
+
+Simulation time is a pure function of (seed, config): it advances only
+to event times drawn from the deterministic latency streams, never from
+the wall clock.  The determinism contract (DESIGN.md §6g) keeps the
+two time bases strictly apart — virtual times may appear in
+deterministic event ``attrs``, wall-clock readings only under ``rt``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Monotonically advancing simulated seconds."""
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance_to(self, time_s: float) -> None:
+        """Move to ``time_s``; simulated time never runs backwards."""
+        time_s = float(time_s)
+        if time_s < self.now:
+            raise ValueError(
+                f"cannot advance the virtual clock backwards: "
+                f"{time_s} < {self.now}"
+            )
+        self.now = time_s
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"now": self.now}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.now = float(state["now"])
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self.now})"

@@ -1,0 +1,540 @@
+"""The deterministic discrete-event federation engine (ROADMAP #1).
+
+:class:`AsyncFederatedTrainer` wraps a
+:class:`~repro.fl.trainer.FederatedTrainer` and replaces its
+synchronous barrier with an event loop over a virtual timeline:
+
+- a **dispatch** event selects round ``t``'s cohort and runs its
+  compute half (:meth:`FederatedTrainer._begin_round`), then draws each
+  client's simulated round-trip from its own pure latency stream and
+  schedules the **arrival** events;
+- an **arrival** admits one client's upload; when every surviving
+  upload of the *oldest* open round has arrived, that round **closes**
+  — the strictly ordered decide/aggregate half
+  (:meth:`FederatedTrainer._finish_round`), staleness-weighted;
+- round ``r`` may dispatch only once round ``r - 1 - S`` has closed
+  (the bounded-staleness gate), so at most ``S + 1`` rounds are in
+  flight and every aggregation's staleness lies in ``[0, S]``.
+
+Everything on the timeline is a pure function of (seed, config): the
+latency streams are hash-derived per (round, client), the event queue
+is totally ordered, and closes happen in round order.  Two modes:
+
+- ``S = 0`` — the *synchronous-equivalence* mode.  Exactly one round
+  is in flight, the engine opens/closes the same ``round`` spans the
+  synchronous loop does and emits none of the ``async.*`` instruments,
+  so history, parameters and ``trace_digest`` are **bitwise** the
+  synchronous trainer's (asserted in ``tests/test_events_engine.py``).
+- ``S > 0`` — bounded staleness.  Rounds overlap; the engine emits
+  ``dispatch``/``admit``/``round_close`` spans and the ``async.*``
+  metrics instead of ``round`` spans (the tracer's span stack is
+  strictly nested, which overlapping rounds cannot honour), store
+  views are written back at dispatch (a later round may check the same
+  client out again while this one is in flight), and the merge is
+  scaled by ``w(s) = 1 / (1 + s) ** alpha``.
+
+Checkpoints capture the virtual clock, the event queue and every
+in-flight round's computed results (recomputing them on resume would
+re-emit their ``client_compute`` spans and fork the trace digest), so
+a SIGKILLed async run resumes bitwise (``tests/test_events_resume.py``).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from repro.fl.client import ClientUpdate
+from repro.fl.events.clock import VirtualClock
+from repro.fl.events.config import AsyncConfig
+from repro.fl.events.latency import ClientTiming, LatencyModel
+from repro.fl.events.queue import ARRIVAL, DISPATCH, Event, EventQueue
+from repro.fl.history import RunHistory
+from repro.fl.trainer import FederatedTrainer, RoundState
+from repro.obs import RoundRollup
+
+__all__ = ["AsyncFederatedTrainer"]
+
+
+@dataclass(frozen=True)
+class _CohortRef:
+    """A participant rebuilt from a checkpoint: the close half only
+    needs the id (store views were already retired at dispatch)."""
+
+    client_id: int
+
+
+@dataclass
+class _InflightRound:
+    """One dispatched-but-not-closed round."""
+
+    state: RoundState
+    dispatch_time: float
+    closes_at_dispatch: int
+    pending: Set[int] = field(default_factory=set)
+    arrived: List[int] = field(default_factory=list)
+    dropped: Set[int] = field(default_factory=set)
+
+
+class AsyncFederatedTrainer:
+    """Event-driven federation over a wrapped synchronous trainer.
+
+    The wrapped trainer owns every federation component (server,
+    policy, executor, store, tracer, checkpointer); this engine owns
+    only the timeline.  ``trainer.async_engine`` is set so checkpoints
+    taken through the trainer's own machinery capture the engine state
+    alongside (see :func:`repro.ckpt.state.capture_run_state`).
+    """
+
+    def __init__(
+        self,
+        trainer: FederatedTrainer,
+        async_config: Optional[AsyncConfig] = None,
+    ) -> None:
+        self.trainer = trainer  # ckpt: transient — captured via its own run state
+        self.async_config = async_config if async_config is not None else AsyncConfig()
+        self.clock = VirtualClock()
+        self.queue = EventQueue()
+        self.latency = LatencyModel(  # ckpt: transient — pure streams, no state
+            seed=trainer.config.seed,
+            n_params=trainer.server.n_params,
+            link=self.async_config.link,
+            compute=self.async_config.compute,
+            speed_sigma=self.async_config.speed_sigma,
+            drop_rate=self.async_config.drop_rate,
+        )
+        self.sync_mode = self.async_config.sync_equivalent  # ckpt: transient — derived from config
+        self.closes_done = len(trainer.history)
+        self.next_dispatch = self.closes_done + 1
+        self.last_dispatch_time: Optional[float] = None
+        self.target_rounds = 0  # ckpt: transient — run()-scoped target
+        self._inflight: Dict[int, _InflightRound] = {}
+        self._handlers: Dict[int, Any] = {}  # ckpt: transient — rebound every construction
+        self.register_handler(DISPATCH, self._on_dispatch)
+        self.register_handler(ARRIVAL, self._on_arrival)
+        self._dispatch_pending = False  # ckpt: transient — derived from the queue on restore
+        self._just_closed: List[int] = []  # ckpt: transient — drained within one event
+        self._open_round_span = None  # ckpt: transient — live span handle (S=0 mode)
+        trainer.async_engine = self
+
+    # -- wiring ----------------------------------------------------------
+
+    @property
+    def tracer(self):
+        return self.trainer.tracer
+
+    @property
+    def history(self) -> RunHistory:
+        return self.trainer.history
+
+    def register_handler(self, kind: int, handler) -> None:
+        """Bind ``handler`` to event ``kind``.
+
+        Registered handlers are concurrent entry points of the event
+        loop; the ``shared-state-race`` lint rule analyzes everything
+        reachable from them exactly like worker-pool entry points.
+        """
+        self._handlers[int(kind)] = handler
+
+    # -- the event loop --------------------------------------------------
+
+    def run(self, rounds: Optional[int] = None) -> RunHistory:
+        """Close ``rounds`` more rounds (default: the configured count).
+
+        Mirrors :meth:`FederatedTrainer.run`: same run-span attributes,
+        same per-close checkpoint schedule, and a restored engine
+        continues the checkpointed trace's still-open ``run`` span.  On
+        return nothing is in flight — every dispatched round has
+        closed — so the engine is at a consistent (checkpointable)
+        boundary between ``run`` calls.
+        """
+        trainer = self.trainer
+        total = trainer.config.rounds if rounds is None else rounds
+        if total < 1:
+            raise ValueError("rounds must be >= 1")
+        start = len(trainer.history) + 1
+        self.target_rounds = self.closes_done + total
+        run_span = trainer._resume_span
+        trainer._resume_span = None
+        if run_span is None:
+            run_span = self.tracer.span(
+                "run",
+                policy=trainer.policy.name,
+                rounds=total,
+                start_iteration=start,
+            )
+            run_span.__enter__()
+        run_span.set_rt("backend", trainer.executor.name)
+        run_span.set_rt("workers", getattr(trainer.executor, "n_workers", 1))
+        try:
+            self._maybe_schedule_dispatch()
+            while self.closes_done < self.target_rounds:
+                event = self.queue.pop()
+                self.clock.advance_to(event.time)
+                self._handlers[event.kind](event)
+                # Checkpoints happen here, between events: the handler
+                # has returned, spans are closed, clock and queue are
+                # consistent — the same boundary the synchronous loop
+                # saves at.  One arrival can close several rounds
+                # back-to-back; only the last is saved (the earlier
+                # closes share this exact state), named for it.
+                if self._just_closed:
+                    closed = self._just_closed[-1]
+                    self._just_closed.clear()
+                    if trainer.checkpointer is not None:
+                        trainer.checkpointer.maybe_save(trainer, closed)
+        finally:
+            run_span.__exit__(*sys.exc_info())
+        return trainer.history
+
+    def _dispatch_allowed(self, iteration: int) -> bool:
+        """The bounded-staleness gate for dispatching ``iteration``."""
+        bound = self.async_config.staleness_bound
+        return self.closes_done >= iteration - 1 - bound
+
+    def _maybe_schedule_dispatch(self, count_deferred: bool = False) -> None:
+        """Queue the next round's dispatch if the gate allows it now.
+
+        When the gate blocks, nothing is queued — the close that
+        eventually satisfies it calls back in here.  ``count_deferred``
+        (set by the dispatch handler) accounts the block once per
+        round in ``async.deferred_dispatches``.
+        """
+        iteration = self.next_dispatch
+        if iteration > self.target_rounds or self._dispatch_pending:
+            return
+        if not self._dispatch_allowed(iteration):
+            if count_deferred and not self.sync_mode and self.tracer.enabled:
+                self.tracer.metrics.counter("async.deferred_dispatches").inc()
+            return
+        time = self.clock.now
+        if self.last_dispatch_time is not None:
+            time = max(
+                time,
+                self.last_dispatch_time + self.async_config.dispatch_interval_s,
+            )
+        self.queue.push(Event(time, DISPATCH, iteration))
+        self._dispatch_pending = True
+
+    # -- handlers --------------------------------------------------------
+
+    def _on_dispatch(self, event: Event) -> None:
+        """Start round ``event.iteration``: compute, then schedule arrivals."""
+        trainer = self.trainer
+        t = event.iteration
+        self._dispatch_pending = False
+        if self.sync_mode:
+            # Exactly the synchronous loop's round span, entered here
+            # and exited when the round closes — with one round in
+            # flight the spans nest just as run_round's would.
+            span = self.tracer.span("round", iteration=t)
+            span.__enter__()
+            try:
+                state = trainer._begin_round(t, span)
+            except BaseException:
+                if self.tracer.enabled:
+                    self.tracer.rollup = None
+                span.__exit__(*sys.exc_info())
+                raise
+            self._open_round_span = span
+        else:
+            state = trainer._begin_round(t, None)
+            # The rollup slot is only consumed inside run_round; park
+            # it on the inflight state so overlapping rounds cannot
+            # cross-feed.
+            if self.tracer.enabled:
+                self.tracer.rollup = None
+            if trainer.store is not None:
+                # Retire the views now: a later dispatch may check the
+                # same client out again while this round is in flight
+                # (checkout refuses a client that is still out).
+                trainer.store.writeback(state.views)
+        inflight = _InflightRound(
+            state=state,
+            dispatch_time=self.clock.now,
+            closes_at_dispatch=self.closes_done,
+        )
+        timings: Dict[int, ClientTiming] = {}
+        for client, result in zip(state.participants, state.results):
+            timings[client.client_id] = self.latency.timing(
+                t, client.client_id, result.n_samples,
+                trainer.config.local_epochs,
+            )
+        if timings and all(tm.dropped for tm in timings.values()):
+            # All-dropped rescue: a fully dead round could never close.
+            # The fastest upload lands anyway (ids break latency ties).
+            rescue = min(
+                timings, key=lambda cid: (timings[cid].latency_s, cid)
+            )
+            timings[rescue] = ClientTiming(
+                dropped=False, latency_s=timings[rescue].latency_s
+            )
+        for client in state.participants:
+            cid = client.client_id
+            timing = timings[cid]
+            if timing.dropped:
+                inflight.dropped.add(cid)
+            else:
+                inflight.pending.add(cid)
+                self.queue.push(
+                    Event(self.clock.now + timing.latency_s, ARRIVAL, t, cid)
+                )
+        self._inflight[t] = inflight
+        self.last_dispatch_time = self.clock.now
+        if not self.sync_mode and self.tracer.enabled:
+            metrics = self.tracer.metrics
+            metrics.counter("async.dispatches").inc()
+            if inflight.dropped:
+                metrics.counter("async.drops").inc(len(inflight.dropped))
+            metrics.gauge("async.virtual_time").set(self.clock.now)
+            self.tracer.record_span(
+                "dispatch",
+                attrs={
+                    "iteration": t,
+                    "n_participants": len(state.participants),
+                    "virtual_time": self.clock.now,
+                },
+            )
+        self.next_dispatch += 1
+        self._maybe_schedule_dispatch(count_deferred=True)
+
+    def _on_arrival(self, event: Event) -> None:
+        """Admit one upload; close every round that became complete."""
+        inflight = self._inflight[event.iteration]
+        inflight.pending.remove(event.client_id)
+        inflight.arrived.append(event.client_id)
+        if not self.sync_mode and self.tracer.enabled:
+            self.tracer.metrics.counter("async.arrivals").inc()
+            if self.tracer.span_sampled(event.iteration, event.client_id):
+                self.tracer.record_span(
+                    "admit",
+                    attrs={
+                        "iteration": event.iteration,
+                        "client_id": event.client_id,
+                        "virtual_time": self.clock.now,
+                    },
+                )
+        # Closes run strictly in round order: a fully arrived round
+        # waits until every earlier round has closed, so the decide/
+        # aggregate reduction order is a pure function of the schedule.
+        while True:
+            oldest = self.closes_done + 1
+            candidate = self._inflight.get(oldest)
+            if candidate is None or candidate.pending:
+                break
+            self._close_round(oldest, candidate)
+            self._maybe_schedule_dispatch()
+
+    def _close_round(self, iteration: int, inflight: _InflightRound) -> None:
+        """The decide/aggregate half for a fully arrived round."""
+        trainer = self.trainer
+        state = inflight.state
+        if inflight.dropped:
+            # Churn: dropped uploads never reach the server — not even
+            # a status message.  Participant order is preserved for the
+            # survivors, so the reduction stays deterministic.
+            keep = [
+                i
+                for i, client in enumerate(state.participants)
+                if client.client_id not in inflight.dropped
+            ]
+            state.participants = [state.participants[i] for i in keep]
+            state.results = [state.results[i] for i in keep]
+        if self.sync_mode:
+            span = self._open_round_span
+            self._open_round_span = None
+            try:
+                trainer._finish_round(state, span)
+            except BaseException:
+                if self.tracer.enabled:
+                    self.tracer.rollup = None
+                span.__exit__(*sys.exc_info())
+                raise
+            if self.tracer.enabled:
+                self.tracer.rollup = None
+            span.__exit__(None, None, None)
+        else:
+            staleness = (iteration - 1) - inflight.closes_at_dispatch
+            trainer._finish_round(
+                state,
+                None,
+                staleness=staleness,
+                virtual_time=self.clock.now,
+                merge_scale=self.async_config.merge_weight(staleness),
+                store_writeback=False,
+            )
+            if self.tracer.enabled:
+                metrics = self.tracer.metrics
+                metrics.counter("async.closes").inc()
+                metrics.histogram("async.staleness").observe(float(staleness))
+                metrics.gauge("async.virtual_time").set(self.clock.now)
+                self.tracer.record_span(
+                    "round_close",
+                    attrs={
+                        "iteration": iteration,
+                        "staleness": staleness,
+                        "n_arrived": len(state.participants),
+                        "virtual_time": self.clock.now,
+                    },
+                )
+        del self._inflight[iteration]
+        self.closes_done += 1
+        self._just_closed.append(iteration)
+
+    # -- checkpoint capture/restore --------------------------------------
+
+    def export_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        """(JSON-safe manifest, arrays) for a bitwise resume.
+
+        In-flight rounds are captured as their already *computed*
+        results — re-running their compute halves on resume would
+        re-emit ``client_compute`` spans the trace already carries and
+        fork the digest.  Legal at event boundaries only (between
+        handler invocations), which is when the trainer's checkpointer
+        fires.
+        """
+        manifest: Dict[str, Any] = {
+            "staleness_bound": self.async_config.staleness_bound,
+            "clock": self.clock.state_dict(),
+            "queue": self.queue.state_dict(),
+            "closes_done": self.closes_done,
+            "next_dispatch": self.next_dispatch,
+            "last_dispatch_time": self.last_dispatch_time,
+            "inflight": [],
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        for t, inflight in sorted(self._inflight.items()):
+            state = inflight.state
+            manifest["inflight"].append(
+                {
+                    "iteration": t,
+                    "lr": state.lr,
+                    "dispatch_time": inflight.dispatch_time,
+                    "closes_at_dispatch": inflight.closes_at_dispatch,
+                    "participants": [
+                        c.client_id for c in state.participants
+                    ],
+                    "n_samples": [r.n_samples for r in state.results],
+                    "train_losses": [r.train_loss for r in state.results],
+                    "pending": sorted(inflight.pending),
+                    "arrived": list(inflight.arrived),
+                    "dropped": sorted(inflight.dropped),
+                }
+            )
+            arrays[f"async/{t}/global_params"] = state.global_params
+            arrays[f"async/{t}/feedback"] = state.feedback
+            for result in state.results:
+                arrays[f"async/{t}/update/{result.client_id}"] = result.update
+        return manifest, arrays
+
+    def restore_state(
+        self, state: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> None:
+        """Apply an :meth:`export_state` snapshot to this engine."""
+        if int(state["staleness_bound"]) != self.async_config.staleness_bound:
+            raise ValueError(
+                f"checkpoint was taken with staleness_bound="
+                f"{state['staleness_bound']}, this engine is configured "
+                f"with {self.async_config.staleness_bound}"
+            )
+        self.clock.load_state_dict(state["clock"])
+        self.queue.load_state_dict(state["queue"])
+        self.closes_done = int(state["closes_done"])
+        self.next_dispatch = int(state["next_dispatch"])
+        last = state["last_dispatch_time"]
+        self.last_dispatch_time = None if last is None else float(last)
+        self._inflight = {}
+        for entry in state["inflight"]:
+            t = int(entry["iteration"])
+            participants = [
+                _CohortRef(int(cid)) for cid in entry["participants"]
+            ]
+            results = [
+                ClientUpdate(
+                    client_id=int(cid),
+                    update=arrays[f"async/{t}/update/{int(cid)}"],
+                    n_samples=int(n),
+                    train_loss=float(loss),
+                )
+                for cid, n, loss in zip(
+                    entry["participants"],
+                    entry["n_samples"],
+                    entry["train_losses"],
+                )
+            ]
+            # A fresh rollup: its deterministic side is fed entirely at
+            # close time, so the emitted round_rollup attrs are bitwise
+            # the uninterrupted run's; the lost wall-clock side lives
+            # under rt, which the deterministic view masks anyway.
+            rollup = RoundRollup(t) if self.tracer.enabled else None
+            round_state = RoundState(
+                iteration=t,
+                lr=float(entry["lr"]),
+                feedback=arrays[f"async/{t}/feedback"],
+                global_params=arrays[f"async/{t}/global_params"],
+                participants=participants,
+                results=results,
+                views=[],
+                rollup=rollup,
+            )
+            inflight = _InflightRound(
+                state=round_state,
+                dispatch_time=float(entry["dispatch_time"]),
+                closes_at_dispatch=int(entry["closes_at_dispatch"]),
+            )
+            inflight.pending = {int(c) for c in entry["pending"]}
+            inflight.arrived = [int(c) for c in entry["arrived"]]
+            inflight.dropped = {int(c) for c in entry["dropped"]}
+            self._inflight[t] = inflight
+        self._dispatch_pending = self.queue.has_kind(DISPATCH)
+
+    @classmethod
+    def restore(
+        cls,
+        path: Union[str, "Any"],
+        *,
+        async_config: Optional[AsyncConfig] = None,
+        **parts: Any,
+    ) -> "AsyncFederatedTrainer":
+        """Rebuild an engine (and its trainer) from a checkpoint.
+
+        ``parts`` are the federation constructor kwargs
+        :meth:`FederatedTrainer.restore` expects; ``async_config`` must
+        match the checkpointed run's.  The resumed engine's next event
+        is exactly the one the killed run would have processed next.
+        """
+        from repro.ckpt import read_checkpoint
+
+        trainer = FederatedTrainer.restore(path, **parts)
+        engine = cls(trainer, async_config=async_config)
+        ckpt = read_checkpoint(path)
+        async_state = ckpt.manifest.get("async")
+        if async_state is None:
+            raise ValueError(
+                f"checkpoint {path} carries no async-engine state; "
+                "was it written by a synchronous run?"
+            )
+        engine.restore_state(async_state, ckpt.arrays)
+        return engine
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the wrapped trainer's resources."""
+        self.trainer.close()
+
+    def __enter__(self) -> "AsyncFederatedTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncFederatedTrainer(S={self.async_config.staleness_bound}, "
+            f"closes_done={self.closes_done}, "
+            f"inflight={sorted(self._inflight)})"
+        )

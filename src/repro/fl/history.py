@@ -11,15 +11,27 @@ import numpy as np
 
 from repro.utils.atomic_io import atomic_write_text
 
-__all__ = ["HISTORY_SCHEMA", "RoundRecord", "RunHistory"]
+__all__ = ["COMPATIBLE_SCHEMAS", "HISTORY_SCHEMA", "RoundRecord", "RunHistory"]
 
 #: Schema tag of the JSONL serialisation (header line of every file).
-HISTORY_SCHEMA = "repro-run-history/v1"
+#: v2 added the async-engine columns ``staleness``/``virtual_time``
+#: (synchronous runs record zeros); v1 files still load, with zeros.
+HISTORY_SCHEMA = "repro-run-history/v2"
+
+#: Schemas :meth:`RunHistory.from_jsonl` accepts (newest first).
+COMPATIBLE_SCHEMAS = ("repro-run-history/v2", "repro-run-history/v1")
 
 
 @dataclass
 class RoundRecord:
-    """Everything measured in one synchronous federated iteration."""
+    """Everything measured in one federated iteration.
+
+    ``staleness`` is how many later rounds closed between this round's
+    dispatch and its aggregation, and ``virtual_time`` the simulated
+    close time — both always zero under the synchronous trainer (and
+    the async engine's S=0 mode, whose histories are bitwise the
+    synchronous ones), nonzero only under bounded-staleness async runs.
+    """
 
     iteration: int
     n_clients: int
@@ -33,6 +45,8 @@ class RoundRecord:
     test_loss: Optional[float] = None
     test_metric: Optional[float] = None
     uploaded_ids: List[int] = field(default_factory=list)
+    staleness: int = 0
+    virtual_time: float = 0.0
 
     @property
     def upload_fraction(self) -> float:
@@ -78,6 +92,14 @@ class RunHistory:
 
     def train_losses(self) -> np.ndarray:
         return np.asarray([r.mean_train_loss for r in self.records])
+
+    def staleness(self) -> np.ndarray:
+        """Per-round aggregation staleness (all zeros for sync runs)."""
+        return np.asarray([r.staleness for r in self.records])
+
+    def virtual_times(self) -> np.ndarray:
+        """Simulated close times (all zeros for sync runs)."""
+        return np.asarray([r.virtual_time for r in self.records])
 
     def evaluated_points(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
         """(iterations, accumulated_rounds, test_metric) where evaluated."""
@@ -165,9 +187,10 @@ class RunHistory:
         if not lines:
             raise ValueError("empty run-history serialisation")
         header = json.loads(lines[0])
-        if header.get("schema") != HISTORY_SCHEMA:
+        if header.get("schema") not in COMPATIBLE_SCHEMAS:
             raise ValueError(
-                f"expected schema {HISTORY_SCHEMA!r}, "
+                f"expected schema {HISTORY_SCHEMA!r} (or a compatible "
+                f"older one of {COMPATIBLE_SCHEMAS}), "
                 f"got {header.get('schema')!r}"
             )
         history = cls(policy_name=header["policy_name"])

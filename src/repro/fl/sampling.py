@@ -31,7 +31,30 @@ __all__ = [
     "FullParticipation",
     "UniformSampler",
     "UnreliableParticipation",
+    "diurnal_trace",
 ]
+
+
+def diurnal_trace(
+    period: int = 24, low: float = 0.2, high: float = 0.9
+) -> List[float]:
+    """A sinusoidal availability trace for :class:`AvailabilitySampler`.
+
+    One cycle of ``period`` rounds oscillating between ``low`` (the
+    overnight trough) and ``high`` (the evening peak) — the diurnal
+    shape cross-device availability studies report (Ribero & Vikalo
+    2020).  Deterministic, so two runs built from the same arguments
+    sample identical cohorts.
+    """
+    if period < 1:
+        raise ValueError(f"period must be >= 1, got {period}")
+    if not 0.0 < low <= high <= 1.0:
+        raise ValueError(
+            f"need 0 < low <= high <= 1, got low={low}, high={high}"
+        )
+    mid, amp = (high + low) / 2.0, (high - low) / 2.0
+    phase = 2.0 * np.pi * np.arange(period) / period
+    return [float(f) for f in mid - amp * np.cos(phase)]
 
 
 class ClientSampler:

@@ -46,12 +46,22 @@ class FLServer:
         """u_bar broadcast to clients alongside the global model."""
         return self.estimator.estimate
 
-    def apply_round(self, updates: List[ClientUpdate]) -> Optional[np.ndarray]:
+    def apply_round(
+        self, updates: List[ClientUpdate], scale: float = 1.0
+    ) -> Optional[np.ndarray]:
         """Aggregate ``updates`` and advance the global model.
 
         Returns the global update applied, or ``None`` when no updates
         arrived (the model and feedback are then left untouched).
+
+        ``scale`` damps the merge — the async engine's staleness weight
+        w(s): a stale round's aggregate moves the model (and feeds the
+        next feedback) by only ``scale`` of itself.  The default 1.0
+        skips the multiply entirely, so synchronous arithmetic is
+        bitwise what it always was.
         """
+        if not np.isfinite(scale) or scale <= 0.0:
+            raise ValueError(f"scale must be a positive finite float, got {scale}")
         if not updates:
             return None
         for u in updates:
@@ -65,6 +75,8 @@ class FLServer:
             if self.weighted
             else mean_aggregate(updates)
         )
+        if scale != 1.0:
+            aggregate = aggregate * scale
         self.global_params += aggregate
         self.estimator.observe(aggregate)
         return aggregate

@@ -14,6 +14,7 @@ order, so run histories are bitwise-identical across backends.
 from __future__ import annotations
 
 import sys
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -23,7 +24,7 @@ from repro.core.policy import PolicyContext, UploadPolicy
 from repro.core.relevance import relevance_per_segment
 from repro.fl.accounting import CommunicationLedger
 from repro.fl.client import ClientUpdate, FLClient
-from repro.fl.config import FLConfig
+from repro.fl.config import ConfigError, FLConfig
 from repro.fl.executor import (
     ClientExecutor,
     RoundPlan,
@@ -46,7 +47,7 @@ from repro.obs import (
     Tracer,
 )
 
-__all__ = ["FederatedTrainer"]
+__all__ = ["FederatedTrainer", "RoundState"]
 
 #: Optional evaluation callback: (workspace with global params loaded) ->
 #: (test_loss, test_metric).
@@ -62,6 +63,29 @@ def _ensure_finite(vector: np.ndarray, what: str) -> None:
             f"{vector.size}; a diverging client or an unstable learning "
             "rate is poisoning the federation"
         )
+
+
+@dataclass
+class RoundState:
+    """One round's compute half, handed to the decide/aggregate half.
+
+    The synchronous loop builds and consumes one per round back to
+    back; the async engine (:mod:`repro.fl.events`) holds several in
+    flight while their virtual-latency arrivals trickle in.  ``views``
+    is the full checked-out cohort (what a store writeback must retire)
+    while ``participants``/``results`` may be narrowed to the clients
+    whose uploads actually arrived (churn drops never reach the decide
+    half); under the synchronous trainer the two are always identical.
+    """
+
+    iteration: int
+    lr: float
+    feedback: np.ndarray
+    global_params: np.ndarray
+    participants: List[FLClient]
+    results: List[ClientUpdate]
+    views: List[FLClient] = field(default_factory=list)
+    rollup: Optional[RoundRollup] = None
 
 
 class FederatedTrainer:
@@ -155,11 +179,13 @@ class FederatedTrainer:
         )
         if self.store is not None:
             if self.executor.name == "process":
-                raise ValueError(
+                raise ConfigError(
                     "the process backend pins client objects into worker "
                     "processes at bind time; store-backed views are "
                     "materialized per round — use the serial, thread or "
-                    "batched backend with a ClientStateStore"
+                    "batched backend with a ClientStateStore",
+                    constraint="store-process-backend",
+                    supported=("serial", "thread", "batched"),
                 )
             self.store.metrics = self.tracer.metrics
         self.executor.bind(
@@ -183,19 +209,33 @@ class FederatedTrainer:
         # Hook for measurement experiments: called with every
         # (client update, decision) pair before aggregation.
         self.on_decision: Optional[Callable] = None  # ckpt: transient — in-process hook
+        # Back-reference installed by an AsyncFederatedTrainer wrapping
+        # this trainer; checkpoints capture the engine's state through
+        # it (see repro.ckpt.state).
+        self.async_engine = None  # ckpt: transient — re-registered by the engine constructor
 
     def run_round(self, t: int) -> RoundRecord:
         """Execute one synchronous iteration (1-based index ``t``)."""
         with self.tracer.span("round", iteration=t) as round_span:
             try:
-                return self._run_round(t, round_span)
+                state = self._begin_round(t, round_span)
+                return self._finish_round(state, round_span)
             finally:
                 # The rollup accumulator never outlives its round, even
                 # when the round dies mid-flight.
                 if self.tracer.enabled:
                     self.tracer.rollup = None
 
-    def _run_round(self, t: int, round_span) -> RoundRecord:
+    def _begin_round(self, t: int, round_span) -> RoundState:
+        """The compute half: select a cohort and fan it out.
+
+        Returns the :class:`RoundState` the decide/aggregate half
+        (:meth:`_finish_round`) consumes.  The synchronous loop calls
+        the two back to back under one ``round`` span; the async engine
+        calls them from its dispatch and close handlers with (possibly)
+        other rounds in between.  ``round_span`` may be None (the
+        engine's bounded-staleness mode has no enclosing round span).
+        """
         lr = self.config.lr(t)
         feedback = self.server.feedback
         global_params = self.server.global_params.copy()
@@ -207,7 +247,8 @@ class FederatedTrainer:
             participants = self.sampler.select(t, self.clients)
         if not participants:
             raise RuntimeError(f"sampler selected no clients in round {t}")
-        round_span.set_attr("n_participants", len(participants))
+        if round_span is not None:
+            round_span.set_attr("n_participants", len(participants))
 
         # Compute half: fan the participants out through the executor.
         # Results come back aligned with the participant order whatever
@@ -221,21 +262,60 @@ class FederatedTrainer:
             global_params=global_params,
         )
         # One rollup per round: executors feed wall-clock task timings
-        # for every participant (sampled or not), the decide loop below
-        # feeds the deterministic decision stream.
+        # for every participant (sampled or not), the decide loop in
+        # _finish_round feeds the deterministic decision stream.
         rollup: Optional[RoundRollup] = None
         if self.tracer.enabled:
             rollup = RoundRollup(t)
             self.tracer.rollup = rollup
         results = self.executor.run_round(plan, participants)
+        return RoundState(
+            iteration=t,
+            lr=lr,
+            feedback=feedback,
+            global_params=global_params,
+            participants=list(participants),
+            results=list(results),
+            views=list(participants),
+            rollup=rollup,
+        )
 
-        # Decide/aggregate half: a strictly ordered reduction.  One
-        # context per round; per-client views share its cache, so CMFL
-        # computes np.sign(u_bar) once per round, not once per client.
+    def _finish_round(
+        self,
+        state: RoundState,
+        round_span=None,
+        *,
+        staleness: int = 0,
+        virtual_time: float = 0.0,
+        merge_scale: float = 1.0,
+        store_writeback: bool = True,
+    ) -> RoundRecord:
+        """The decide/aggregate half: a strictly ordered reduction.
+
+        ``staleness``/``virtual_time`` flow into the round record (and
+        the policy context); ``merge_scale`` is the staleness weight the
+        aggregate is scaled by before it moves the model (1.0 takes the
+        exact unscaled path, so synchronous arithmetic is untouched);
+        ``store_writeback=False`` is for the async engine, which retires
+        store views at dispatch time instead (a later round may check
+        the same client out again while this one is still in flight).
+        """
+        t = state.iteration
+        lr = state.lr
+        feedback = state.feedback
+        global_params = state.global_params
+        participants = state.participants
+        results = state.results
+        rollup = state.rollup
+
+        # One context per round; per-client views share its cache, so
+        # CMFL computes np.sign(u_bar) once per round, not once per
+        # client.
         round_ctx = PolicyContext(
             iteration=t,
             global_params=global_params,
             global_update_estimate=feedback,
+            staleness=staleness,
         )
         uploads: List[ClientUpdate] = []
         skipped: List[ClientUpdate] = []
@@ -293,14 +373,17 @@ class FederatedTrainer:
                 if rollup is not None:
                     rollup.n_uploaded += 1
                     rollup.n_forced += 1
-        round_span.set_attr("n_uploaded", len(uploads))
+        if round_span is not None:
+            round_span.set_attr("n_uploaded", len(uploads))
 
         with self.tracer.span("aggregate", iteration=t, n_uploads=len(uploads)):
-            aggregate = self.server.apply_round(uploads)
+            aggregate = self.server.apply_round(uploads, scale=merge_scale)
             if self.config.check_finite and aggregate is not None:
                 _ensure_finite(aggregate, f"aggregated delta of round {t}")
             self.ledger.record_round(
-                [u.client_id for u in uploads], [s.client_id for s in skipped]
+                [u.client_id for u in uploads],
+                [s.client_id for s in skipped],
+                staleness=staleness,
             )
 
         if rollup is not None:
@@ -322,7 +405,9 @@ class FederatedTrainer:
             # Account participation into the shard stats and capture
             # every view's advanced RNG stream back into its row; after
             # this the round's views are retired and the store is
-            # consistent (checkpointable) again.
+            # consistent (checkpointable) again.  (The async engine
+            # retires views at dispatch instead — store_writeback=False
+            # — so only the stats are recorded here.)
             self.store.record_round(
                 t,
                 [u.client_id for u in uploads],
@@ -331,7 +416,8 @@ class FederatedTrainer:
                     feedback if self.store.track_feedback else None
                 ),
             )
-            self.store.writeback(participants)
+            if store_writeback:
+                self.store.writeback(state.views)
             if rollup is not None:
                 rollup.extra["store"] = {"population": self.store.population}
 
@@ -346,6 +432,8 @@ class FederatedTrainer:
             mean_score=float(np.mean(scores)),
             threshold=threshold,
             uploaded_ids=[u.client_id for u in uploads],
+            staleness=staleness,
+            virtual_time=virtual_time,
         )
         if self.eval_fn is not None and t % self.config.eval_every == 0:
             with self.tracer.span("evaluate", iteration=t) as eval_span:

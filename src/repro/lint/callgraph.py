@@ -25,7 +25,13 @@ from typing import Dict, List, Sequence, Set
 
 from repro.lint.project import ProjectModel
 
-__all__ = ["METHOD_STOPLIST", "build_call_graph", "reachable_from", "worker_entry_points"]
+__all__ = [
+    "METHOD_STOPLIST",
+    "build_call_graph",
+    "handler_entry_points",
+    "reachable_from",
+    "worker_entry_points",
+]
 
 #: Method names too generic to resolve via CHA — stdlib container,
 #: ndarray, executor-future and metrics-counter vocabulary.  A project
@@ -124,16 +130,10 @@ def build_call_graph(project: ProjectModel) -> Dict[str, Set[str]]:
     return graph
 
 
-def worker_entry_points(project: ProjectModel) -> Set[str]:
-    """Function ids handed to an executor boundary.
-
-    Collected from the first positional argument of ``.submit(...)`` /
-    ``.apply_async(...)`` and from ``initializer=`` / ``target=``
-    keyword arguments of any call.
-    """
+def _collect_entry_points(project: ProjectModel, fact_key: str) -> Set[str]:
     entries: Set[str] = set()
     for fid, (pp, cls_name, facts) in project.functions.items():
-        for target in facts["entry_targets"]:
+        for target in facts.get(fact_key, ()):
             kind, value = target["k"], target["v"]
             if kind == "ref":
                 resolved = project.resolve_function(value)
@@ -150,6 +150,29 @@ def worker_entry_points(project: ProjectModel) -> Set[str]:
                 if value not in METHOD_STOPLIST:
                     entries.update(project.methods_by_name.get(value, ()))
     return entries
+
+
+def worker_entry_points(project: ProjectModel) -> Set[str]:
+    """Function ids handed to an executor boundary.
+
+    Collected from the first positional argument of ``.submit(...)`` /
+    ``.apply_async(...)`` and from ``initializer=`` / ``target=``
+    keyword arguments of any call.
+    """
+    return _collect_entry_points(project, "entry_targets")
+
+
+def handler_entry_points(project: ProjectModel) -> Set[str]:
+    """Function ids registered as event-loop handlers.
+
+    Collected from ``.register_handler(kind, handler)`` call sites
+    (positional callback arguments past the first, plus a ``handler=``
+    keyword).  The async engine runs handlers from its event loop while
+    executor rounds may still be in flight, so everything reachable
+    from one is checked against the same shared-state discipline as
+    worker-reachable code.
+    """
+    return _collect_entry_points(project, "handler_targets")
 
 
 def reachable_from(

@@ -41,6 +41,10 @@ class FlowContext:
     #: package_path -> whether the rule applies there (set per rule by
     #: the analyzer before ``check`` runs).
     in_scope: Dict[str, bool] = field(default_factory=dict)
+    #: Event-loop callbacks (``register_handler``) and their closure —
+    #: held to the same shared-state discipline as worker code.
+    handler_entries: Set[str] = field(default_factory=set)
+    handler_reachable: Set[str] = field(default_factory=set)
 
 
 class ProjectRule:
@@ -175,12 +179,15 @@ class RngTaintRule(ProjectRule):
 
 
 class SharedStateRaceRule(ProjectRule):
-    """No worker-reachable function may write shared coordinator state.
+    """No worker- or handler-reachable function may write shared state.
 
     Worker entry points are the callables handed to ``submit`` /
     ``apply_async`` / ``initializer=`` / ``target=``; everything
     reachable from them through the call graph runs (potentially)
-    concurrently.  In that set, flag stores whose root is module-level
+    concurrently.  Event-handler entry points — callbacks registered
+    via ``register_handler`` (the async engine's event loop) — run
+    while dispatched rounds are still in flight, so their closure is
+    held to the same discipline and checked here too.  In that set, flag stores whose root is module-level
     state, an imported module, or a parameter whose name matches the
     broadcast-parameter pattern (``shared_param_names``) or the
     client-state-store pattern (``store_param_names``).  The store
@@ -215,10 +222,15 @@ class SharedStateRaceRule(ProjectRule):
             "allow_global_rebind_in", ["fl/executor.py"]
         )
         out: List[Violation] = []
-        for fid in sorted(ctx.worker_reachable):
+        for fid in sorted(ctx.worker_reachable | ctx.handler_reachable):
             pp, _, facts = ctx.project.functions[fid]
             if not ctx.in_scope.get(pp, True):
                 continue
+            how = (
+                "worker-reachable"
+                if fid in ctx.worker_reachable
+                else "event-handler-reachable"
+            )
             summary = ctx.project.modules[pp]
             for store in facts["stores"]:
                 root = store["root"]
@@ -231,10 +243,11 @@ class SharedStateRaceRule(ProjectRule):
                         self.violation(
                             summary,
                             store["line"],
-                            f"worker-reachable function {fid!r} writes "
+                            f"{how} function {fid!r} writes "
                             f"module-level state {what!r} "
                             f"({kind} of {store['name']!r}); shared "
-                            "writes race across thread/process workers",
+                            "writes race across thread/process workers "
+                            "and in-flight event-loop rounds",
                         )
                     )
                 elif root.startswith("param:"):
@@ -246,11 +259,12 @@ class SharedStateRaceRule(ProjectRule):
                             self.violation(
                                 summary,
                                 store["line"],
-                                f"worker-reachable function {fid!r} "
+                                f"{how} function {fid!r} "
                                 f"mutates broadcast parameter "
                                 f"{param!r} ({kind} of "
-                                f"{store['name']!r}); workers must "
-                                "treat broadcast state as read-only",
+                                f"{store['name']!r}); concurrent code "
+                                "must treat broadcast state as "
+                                "read-only",
                             )
                         )
                     elif store_pattern.match(param):
@@ -258,7 +272,7 @@ class SharedStateRaceRule(ProjectRule):
                             self.violation(
                                 summary,
                                 store["line"],
-                                f"worker-reachable function {fid!r} "
+                                f"{how} function {fid!r} "
                                 f"writes client-state store parameter "
                                 f"{param!r} ({kind} of "
                                 f"{store['name']!r}); shard arrays are "

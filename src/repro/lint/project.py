@@ -56,7 +56,7 @@ __all__ = [
 
 #: Bump when the summary layout or extraction semantics change; the
 #: cache treats entries written by a different version as misses.
-EXTRACTOR_VERSION = 2
+EXTRACTOR_VERSION = 3
 
 #: CPython 3.11 tracks AST-object construction depth in per-interpreter
 #: (not per-thread) state, so concurrent ``ast.parse`` calls can corrupt
@@ -111,6 +111,13 @@ BOUNDARY_METHODS = frozenset({"submit", "apply_async"})
 
 #: Keyword arguments that register a worker-side entry point.
 ENTRY_KWARGS = ("initializer", "target")
+
+#: Attribute-call names that register an event-handler callback.  The
+#: async engine (repro.fl.events) invokes handlers from its event loop
+#: interleaved with in-flight executor rounds, so handler-reachable
+#: code is held to the same shared-state discipline as worker-reachable
+#: code.
+HANDLER_METHODS = frozenset({"register_handler"})
 
 #: Tracer methods that emit events with an ``attrs`` payload.
 TRACE_EMIT_METHODS = frozenset({"span", "record_span", "event"})
@@ -227,6 +234,7 @@ class _FunctionExtractor:
             "tainted_defaults": [],
             "boundary_calls": [],
             "entry_targets": [],
+            "handler_targets": [],
             "stores": [],
             "global_rebinds": [],
             "self_refs": [],
@@ -467,6 +475,24 @@ class _FunctionExtractor:
                                 "line": node.lineno,
                             }
                         )
+        if callee_name in HANDLER_METHODS:
+            # ``register_handler(kind, handler)`` or ``handler=`` kwarg:
+            # the callback runs from the event loop, concurrently with
+            # in-flight rounds, so it is an entry point of its own set.
+            candidates = list(node.args[1:])
+            candidates.extend(
+                kw.value for kw in node.keywords if kw.arg == "handler"
+            )
+            for candidate in candidates:
+                target_ref = self._ref(candidate)
+                if target_ref is not None:
+                    self.facts["handler_targets"].append(
+                        {
+                            "k": target_ref[0],
+                            "v": target_ref[1],
+                            "line": node.lineno,
+                        }
+                    )
 
     def _record_trace(self, node, ref, arg_taints, kw_taints) -> None:
         if not isinstance(node.func, ast.Attribute):
@@ -1198,6 +1224,7 @@ class ProjectAnalyzer:
     ) -> List[Violation]:
         from repro.lint.callgraph import (
             build_call_graph,
+            handler_entry_points,
             reachable_from,
             worker_entry_points,
         )
@@ -1206,12 +1233,17 @@ class ProjectAnalyzer:
 
         call_graph = build_call_graph(model)
         entries = worker_entry_points(model)
+        handler_entries = handler_entry_points(model)
         ctx = FlowContext(
             project=model,
             call_graph=call_graph,
             worker_entries=entries,
             worker_reachable=reachable_from(call_graph, sorted(entries)),
             rng_tainted=compute_tainted_functions(model),
+            handler_entries=handler_entries,
+            handler_reachable=reachable_from(
+                call_graph, sorted(handler_entries)
+            ),
         )
         findings: List[Violation] = []
         for rule_cls in PROJECT_RULES:

@@ -21,6 +21,16 @@ __all__ = ["METRIC_NAMES", "METRIC_PREFIXES", "is_registered"]
 #: Every fixed metric name in the tree, namespace-sorted.
 METRIC_NAMES = frozenset(
     {
+        # async.* — the discrete-event engine (repro.fl.events).  All
+        # deterministic: event times come from the virtual clock, a
+        # pure function of (seed, config), never the wall clock.
+        "async.arrivals",
+        "async.closes",
+        "async.deferred_dispatches",
+        "async.dispatches",
+        "async.drops",
+        "async.staleness",
+        "async.virtual_time",
         # comm.* — the paper's communication measurements (deterministic;
         # reconciled byte-for-byte against the CommunicationLedger).
         "comm.skips",

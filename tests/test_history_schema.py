@@ -1,0 +1,82 @@
+"""RunHistory serialisation: the v2 schema (async columns) round-trips
+bitwise and v1 files still load with zero staleness/virtual_time."""
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro.fl.history import (
+    COMPATIBLE_SCHEMAS,
+    HISTORY_SCHEMA,
+    RoundRecord,
+    RunHistory,
+)
+
+
+def _record(iteration, staleness=0, virtual_time=0.0):
+    return RoundRecord(
+        iteration=iteration,
+        n_clients=6,
+        n_uploaded=4,
+        accumulated_rounds=4 * iteration,
+        total_bytes=1024 * iteration,
+        lr=0.3,
+        mean_train_loss=0.5 / iteration,
+        mean_score=0.8,
+        threshold=0.57,
+        test_loss=0.4,
+        test_metric=0.9,
+        uploaded_ids=[0, 2, 3, 5],
+        staleness=staleness,
+        virtual_time=virtual_time,
+    )
+
+
+def _async_history():
+    history = RunHistory(policy_name="cmfl")
+    for t, (s, vt) in enumerate([(0, 1.5), (1, 2.25), (2, 2.5)], start=1):
+        history.append(_record(t, staleness=s, virtual_time=vt))
+    return history
+
+
+def test_v2_roundtrip_is_bitwise(tmp_path):
+    history = _async_history()
+    path = tmp_path / "run.jsonl"
+    text = history.to_jsonl(path)
+    for restored in (RunHistory.from_jsonl(text),
+                     RunHistory.from_jsonl(path)):
+        assert restored.to_jsonl() == text
+        assert restored.staleness().tolist() == [0, 1, 2]
+        assert restored.virtual_times().tolist() == [1.5, 2.25, 2.5]
+
+
+def test_header_carries_v2_schema():
+    header = json.loads(_async_history().to_jsonl().splitlines()[0])
+    assert header["schema"] == HISTORY_SCHEMA == "repro-run-history/v2"
+
+
+def test_v1_files_load_with_zero_async_columns():
+    """Pre-async histories (no staleness/virtual_time keys) must keep
+    loading; the missing columns default to the synchronous zeros."""
+    assert "repro-run-history/v1" in COMPATIBLE_SCHEMAS
+    lines = [json.dumps({"schema": "repro-run-history/v1",
+                         "policy_name": "cmfl"})]
+    for t in (1, 2):
+        row = asdict(_record(t))
+        del row["staleness"], row["virtual_time"]
+        lines.append(json.dumps(row, sort_keys=True))
+    history = RunHistory.from_jsonl("\n".join(lines) + "\n")
+    assert len(history) == 2
+    assert history.staleness().tolist() == [0, 0]
+    assert history.virtual_times().tolist() == [0.0, 0.0]
+    # Re-serialising upgrades the file to v2 with explicit zeros.
+    header = json.loads(history.to_jsonl().splitlines()[0])
+    assert header["schema"] == "repro-run-history/v2"
+
+
+def test_unknown_schema_is_rejected():
+    text = json.dumps({"schema": "repro-run-history/v99",
+                       "policy_name": "cmfl"}) + "\n"
+    with pytest.raises(ValueError, match="repro-run-history"):
+        RunHistory.from_jsonl(text)

@@ -252,6 +252,67 @@ def test_coordinator_side_write_is_not_a_race(tmp_path):
     assert _rules(result) == []
 
 
+HANDLER_TREE = {
+    "ev.py": (
+        "STATE = {}\n"
+        "\n"
+        "class Engine:\n"
+        "    def __init__(self):\n"
+        "        self.handlers = {}\n"
+        "\n"
+        "    def register_handler(self, kind, handler):\n"
+        "        self.handlers[kind] = handler\n"
+        "\n"
+        "def on_arrival(event):\n"
+        "    return event\n"
+        "\n"
+        "def wire(engine):\n"
+        "    engine.register_handler(0, on_arrival)\n"
+    ),
+}
+
+
+def test_handler_reachable_clean_tree(tmp_path):
+    result, _ = _analyze(tmp_path, HANDLER_TREE)
+    assert _rules(result) == []
+
+
+def test_shared_state_race_event_handler_module_write(tmp_path):
+    # Event-loop handlers run while dispatched rounds are in flight:
+    # a module-level write inside one is a race, same as in a worker.
+    bad = dict(HANDLER_TREE)
+    bad["ev.py"] = bad["ev.py"].replace(
+        "def on_arrival(event):\n    return event\n",
+        "def on_arrival(event):\n    STATE['x'] = 1\n    return event\n",
+    )
+    result, _ = _analyze(tmp_path, bad)
+    assert _rules(result) == ["shared-state-race"]
+    assert "event-handler-reachable" in result.violations[0].message
+    assert "module-level state 'STATE'" in result.violations[0].message
+
+
+def test_shared_state_race_event_handler_transitive_param_write(tmp_path):
+    # The store sits one call below the registered handler, through a
+    # broadcast-named parameter; handler= keyword registration counts.
+    bad = dict(HANDLER_TREE)
+    bad["ev.py"] = bad["ev.py"].replace(
+        "def on_arrival(event):\n    return event\n",
+        "def on_arrival(event):\n"
+        "    return scribble(event, [])\n"
+        "\n"
+        "def scribble(event, global_params):\n"
+        "    global_params[0] = 0.0\n"
+        "    return event\n",
+    ).replace(
+        "    engine.register_handler(0, on_arrival)\n",
+        "    engine.register_handler(0, handler=on_arrival)\n",
+    )
+    result, _ = _analyze(tmp_path, bad)
+    assert _rules(result) == ["shared-state-race"]
+    assert "event-handler-reachable" in result.violations[0].message
+    assert "broadcast parameter 'global_params'" in result.violations[0].message
+
+
 # -- ckpt-state-coverage -----------------------------------------------------
 
 

@@ -1,0 +1,139 @@
+"""Property-based contracts of the client-side upload triggers.
+
+The async engine's determinism leans on :class:`UploadTrigger.check`
+being a **pure** function of ``(update, ctx)`` — same decision on any
+backend, across resumes, under any event ordering.  These tests hold
+every shipped trigger to that, plus each rule's defining identity
+(relevance == Eq. 9, norm == l2).  Degrades to a clean skip when
+``hypothesis`` is not installed, like ``test_relevance_properties.py``.
+"""
+
+import numpy as np
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    from hypothesis.extra.numpy import arrays
+except ImportError:
+    hypothesis_installed = False
+else:
+    hypothesis_installed = True
+
+from repro.core import (
+    AlwaysUpload,
+    CMFLPolicy,
+    NormTrigger,
+    RelevanceTrigger,
+    TriggerPolicy,
+)
+from repro.core.policy import PolicyContext
+from repro.core.relevance import relevance
+from repro.core.thresholds import InverseSqrtThreshold
+
+pytestmark = pytest.mark.skipif(
+    not hypothesis_installed, reason="package 'hypothesis' not installed"
+)
+
+if hypothesis_installed:
+    finite_vectors = arrays(
+        np.float64,
+        st.integers(1, 64),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+    )
+    iterations = st.integers(1, 1000)
+    seeds = st.integers(0, 2**31 - 1)
+
+    def _ctx(update, iteration, seed, staleness=0):
+        gen = np.random.default_rng(seed)
+        return PolicyContext(
+            iteration=iteration,
+            global_params=gen.normal(size=update.shape),
+            global_update_estimate=gen.normal(size=update.shape),
+            staleness=staleness,
+        )
+
+    TRIGGERS = [
+        AlwaysUpload(),
+        RelevanceTrigger(InverseSqrtThreshold(0.8)),
+        NormTrigger(scale=2.0, decay=0.5),
+    ]
+
+    @settings(max_examples=50)
+    @given(finite_vectors, iterations, seeds, st.integers(0, 8))
+    def test_check_is_pure(u, iteration, seed, staleness):
+        """Same inputs -> the same decision, every time, for every rule.
+
+        Fresh but equal context objects (separate round caches) must
+        not change the outcome either — the engine rebuilds contexts
+        per round and per resume.
+        """
+        for trigger in TRIGGERS:
+            first = trigger.check(u, _ctx(u, iteration, seed, staleness))
+            again = trigger.check(u, _ctx(u, iteration, seed, staleness))
+            assert first == again
+
+    @settings(max_examples=50)
+    @given(finite_vectors, iterations, seeds)
+    def test_check_does_not_mutate_inputs(u, iteration, seed):
+        ctx = _ctx(u, iteration, seed)
+        u_before = u.copy()
+        feedback_before = ctx.global_update_estimate.copy()
+        for trigger in TRIGGERS:
+            trigger.check(u, ctx)
+        np.testing.assert_array_equal(u, u_before)
+        np.testing.assert_array_equal(
+            ctx.global_update_estimate, feedback_before
+        )
+
+    @settings(max_examples=100)
+    @given(finite_vectors, iterations, seeds)
+    def test_relevance_trigger_scores_exactly_eq9(u, iteration, seed):
+        ctx = _ctx(u, iteration, seed)
+        decision = RelevanceTrigger(InverseSqrtThreshold(0.8)).check(u, ctx)
+        assert decision.score == relevance(u, ctx.global_update_estimate)
+        assert decision.upload == (decision.score >= decision.threshold)
+
+    @settings(max_examples=100)
+    @given(finite_vectors, iterations, seeds)
+    def test_relevance_trigger_agrees_with_cmfl_policy(u, iteration, seed):
+        """The trigger and CMFLPolicy are the same rule, decision for
+        decision — the S=0 bitwise equivalence rests on this."""
+        schedule = InverseSqrtThreshold(0.8)
+        from_trigger = TriggerPolicy(RelevanceTrigger(schedule)).decide(
+            u, _ctx(u, iteration, seed)
+        )
+        from_policy = CMFLPolicy(schedule).decide(
+            u, _ctx(u, iteration, seed)
+        )
+        assert from_trigger == from_policy
+
+    @settings(max_examples=100)
+    @given(finite_vectors, iterations, seeds)
+    def test_norm_trigger_scores_the_l2_norm(u, iteration, seed):
+        trigger = NormTrigger(scale=2.0, decay=0.5)
+        decision = trigger.check(u, _ctx(u, iteration, seed))
+        assert decision.score == float(np.linalg.norm(u))
+        assert decision.threshold == 2.0 / (1.0 + iteration) ** 0.5
+        assert decision.upload == (decision.score >= decision.threshold)
+
+    @settings(max_examples=50)
+    @given(finite_vectors, iterations, seeds)
+    def test_always_upload_always_uploads(u, iteration, seed):
+        decision = AlwaysUpload().check(u, _ctx(u, iteration, seed))
+        assert decision.upload
+        assert decision == AlwaysUpload().check(u, _ctx(u, iteration, seed))
+
+    @settings(max_examples=50)
+    @given(iterations)
+    def test_norm_band_shrinks_monotonically(iteration):
+        """The band is decreasing in t: late small deltas are suppressed
+        harder, never softer."""
+        trigger = NormTrigger(scale=1.0, decay=0.5)
+        u = np.ones(4)
+        ctx_now = _ctx(u, iteration, 0)
+        ctx_later = _ctx(u, iteration + 1, 0)
+        assert (
+            trigger.check(u, ctx_later).threshold
+            <= trigger.check(u, ctx_now).threshold
+        )

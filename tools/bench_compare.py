@@ -187,6 +187,48 @@ def check_obs_overhead(after, max_overhead):
     return [line + (" REGRESSION" if failed else " ok")], failed
 
 
+def check_async_digest(after, require=False):
+    """Gate the async engine's S=0 sync-equivalence contract.
+
+    The ``async_vs_sync`` micro (see
+    :func:`repro.experiments.timing.time_async_vs_sync`) runs the same
+    linear federation through the synchronous trainer and through the
+    event engine at staleness bound 0, and records both history
+    digests.  Whenever the micro is present, those digests must be
+    identical — the engine's whole claim is that S=0 *is* the
+    synchronous schedule, bit for bit.  The S=2 throughput figures
+    (events/sec, staleness spread) are reported for context, never
+    gated.
+
+    With ``require=True`` (the ``--check-async-digest`` flag) a
+    payload *without* the micro also fails: the candidate was supposed
+    to prove the equivalence and didn't.  Without the flag an absent
+    micro passes, so pre-async baselines keep comparing cleanly.
+
+    Returns (report_lines, failed).
+    """
+    avs = after.get("micro", {}).get("async_vs_sync")
+    if avs is None:
+        if require:
+            return [
+                "  async_vs_sync micro entry absent in AFTER "
+                "(required by --check-async-digest) REGRESSION"
+            ], True
+        return ["  async_vs_sync micro entry absent in AFTER (skipped)"], False
+    identical = bool(avs["identical"])
+    stale = avs.get("stale", {})
+    line = (
+        f"  async S=0 digest vs sync: "
+        f"{'identical' if identical else 'DIFFER'}; "
+        f"S={stale.get('staleness_bound')}: "
+        f"{float(stale.get('events_per_sec', 0.0)):.0f} events/s, "
+        f"staleness p50 {float(stale.get('staleness_p50', 0.0)):.1f} / "
+        f"p99 {float(stale.get('staleness_p99', 0.0)):.1f} (ungated)"
+    )
+    failed = not identical
+    return [line + (" REGRESSION" if failed else " ok")], failed
+
+
 def check_traced_rss(scale, max_ratio):
     """Gate tracing's memory footprint at population scale.
 
@@ -314,6 +356,14 @@ def main(argv=None) -> int:
         "(default: 0.05)",
     )
     parser.add_argument(
+        "--check-async-digest",
+        action="store_true",
+        help="require the async_vs_sync micro in the candidate and "
+        "fail unless its S=0 history digest matches the synchronous "
+        "trainer's (digest identity is enforced whenever the micro "
+        "is present, flag or not)",
+    )
+    parser.add_argument(
         "--max-traced-rss",
         type=float,
         default=2.0,
@@ -340,6 +390,9 @@ def main(argv=None) -> int:
         before, after, args.min_batched_speedup
     )
     obs_lines, obs_failed = check_obs_overhead(after, args.max_obs_overhead)
+    async_lines, async_failed = check_async_digest(
+        after, require=args.check_async_digest
+    )
     if args.scale is not None:
         scale_payload = json.loads(args.scale.read_text())
         scale_lines, scale_failed = check_scale_rss(
@@ -360,6 +413,8 @@ def main(argv=None) -> int:
     print("\n".join(batched_lines))
     print("observability overhead:")
     print("\n".join(obs_lines))
+    print("async engine:")
+    print("\n".join(async_lines))
     print("population-scale peak RSS:")
     print("\n".join(scale_lines))
     print("population-scale traced RSS:")
@@ -369,6 +424,7 @@ def main(argv=None) -> int:
         or lint_failed
         or batched_failed
         or obs_failed
+        or async_failed
         or scale_failed
         or traced_failed
     ):
@@ -377,6 +433,7 @@ def main(argv=None) -> int:
             + (1 if lint_failed else 0)
             + (1 if batched_failed else 0)
             + (1 if obs_failed else 0)
+            + (1 if async_failed else 0)
             + (1 if scale_failed else 0)
             + (1 if traced_failed else 0)
         )
